@@ -1,0 +1,44 @@
+//! §8 compositional machinery: summary computation and campaign cost,
+//! inline vs summarized.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotg_core::{Driver, DriverConfig, SummaryConfig, SummaryTable, Technique};
+use hotg_lang::corpus;
+
+fn bench_summary_computation(c: &mut Criterion) {
+    let (program, natives) = corpus::composed();
+    c.bench_function("compositional/summary_compute", |b| {
+        b.iter(|| {
+            black_box(SummaryTable::compute(
+                &program,
+                &natives,
+                &SummaryConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_campaigns(c: &mut Criterion) {
+    let (program, natives) = corpus::composed();
+    for technique in [Technique::HigherOrder, Technique::HigherOrderCompositional] {
+        c.bench_function(
+            &format!("compositional/campaign_{}", technique.label()),
+            |b| {
+                b.iter(|| {
+                    let config = DriverConfig {
+                        max_runs: 20,
+                        ..DriverConfig::with_initial(vec![0, 0])
+                    };
+                    black_box(Driver::new(&program, &natives, config).run(technique))
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_summary_computation, bench_campaigns
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Concolic-engine overhead (§6 implementability): plain interpretation
+//! versus each symbolic mode, on the paper corpus and the lexer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotg_concolic::{execute, ConcolicContext, SymbolicMode};
+use hotg_lang::{corpus, run, InputVector};
+
+fn bench_corpus_modes(c: &mut Criterion) {
+    let cases = [("foo", vec![567i64, 42]), ("bar", vec![33, 42])];
+    for (name, inputs) in cases {
+        let (program, natives) = corpus::all()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ctor)| ctor())
+            .unwrap();
+        let ctx = ConcolicContext::new(&program);
+        let iv = InputVector::new(inputs);
+        c.bench_function(&format!("engine/{name}/concrete_only"), |b| {
+            b.iter(|| black_box(run(&program, &natives, &iv, 100_000)))
+        });
+        for mode in SymbolicMode::ALL {
+            c.bench_function(&format!("engine/{name}/{}", mode.label()), |b| {
+                b.iter(|| black_box(execute(&ctx, &program, &natives, &iv, mode, 100_000)))
+            });
+        }
+    }
+}
+
+fn bench_lexer_execution(c: &mut Criterion) {
+    let (program, natives) = hotg_lexapp::programs::keyword_parser();
+    let ctx = ConcolicContext::new(&program);
+    let iv = InputVector::new(hotg_lexapp::programs::encode_fixed(["if", "then", "end"]));
+    for mode in SymbolicMode::ALL {
+        c.bench_function(&format!("engine/lexer/{}", mode.label()), |b| {
+            b.iter(|| black_box(execute(&ctx, &program, &natives, &iv, mode, 100_000)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_corpus_modes, bench_lexer_execution
+}
+criterion_main!(benches);

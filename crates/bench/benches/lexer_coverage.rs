@@ -1,0 +1,21 @@
+//! End-to-end §7 campaign cost: how much work each technique spends on
+//! the hash-based keyword lexer (APP-LEXER row of DESIGN.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotg_core::Technique;
+use hotg_lexapp::{campaign, LexerVariant};
+
+fn bench_campaigns(c: &mut Criterion) {
+    for technique in Technique::ALL {
+        c.bench_function(&format!("lexer_campaign/{}", technique.label()), |b| {
+            b.iter(|| black_box(campaign(LexerVariant::Fixed, technique, 12)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_campaigns
+}
+criterion_main!(benches);

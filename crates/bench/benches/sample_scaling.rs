@@ -1,0 +1,37 @@
+//! Ablation for the §6 implementability discussion: validity-check cost
+//! as the recorded sample table grows ("capturing at execution time all
+//! observed input-output value pairs is problematic").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotg_logic::{Atom, Formula, Signature, Sort, Term};
+use hotg_solver::{Samples, ValidityChecker};
+
+fn bench_sample_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validity_vs_samples");
+    for &n in &[4usize, 16, 64] {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        let h = sig.declare_func("hash", 1);
+        let mut samples = Samples::new();
+        for k in 0..n as i64 {
+            samples.record(h, vec![k], (k * 7919 + 12345) % 100_000);
+        }
+        // Target: invert hash to the output of sample n/2.
+        let want = (n as i64 / 2 * 7919 + 12345) % 100_000;
+        let pc = Formula::atom(Atom::eq(Term::app(h, vec![Term::var(y)]), Term::int(want)))
+            .and(Formula::atom(Atom::eq(Term::var(x), Term::int(1))));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let checker = ValidityChecker::new();
+            b.iter(|| black_box(checker.check(&[x, y], &samples, &pc).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sample_scaling
+}
+criterion_main!(benches);

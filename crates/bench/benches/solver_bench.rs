@@ -1,0 +1,143 @@
+//! Solver-layer throughput: SAT core, simplex/LIA, SMT with EUF, and the
+//! validity engine (PERF rows of DESIGN.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotg_logic::{Atom, Formula, Rat, Signature, Sort, Term};
+use hotg_sat::{Lit, SatSolver};
+use hotg_solver::lia::{solve_int, ConKind, IntConstraint, LiaConfig};
+use hotg_solver::simplex::{BoundKind, Simplex};
+use hotg_solver::{Samples, SmtSolver, ValidityChecker};
+
+fn bench_sat(c: &mut Criterion) {
+    c.bench_function("sat/pigeonhole_5_4", |b| {
+        b.iter(|| {
+            let mut s = SatSolver::new();
+            let mut p = vec![[0u32; 4]; 5];
+            for row in p.iter_mut() {
+                for cell in row.iter_mut() {
+                    *cell = s.new_var();
+                }
+            }
+            for row in &p {
+                s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+            }
+            for j in 0..4 {
+                for i1 in 0..5 {
+                    for i2 in (i1 + 1)..5 {
+                        s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                    }
+                }
+            }
+            black_box(s.solve())
+        })
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    c.bench_function("simplex/chain_20", |b| {
+        b.iter(|| {
+            let mut s = Simplex::new();
+            let vars: Vec<usize> = (0..20).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                let slack = s.add_row(&[(w[0], Rat::ONE), (w[1], -Rat::ONE)]);
+                let _ = s.assert_bound(slack, BoundKind::Upper, Rat::from(-1), None);
+            }
+            let _ = s.assert_bound(vars[0], BoundKind::Lower, Rat::from(0), None);
+            let _ = s.assert_bound(vars[19], BoundKind::Upper, Rat::from(100), None);
+            black_box(s.check())
+        })
+    });
+}
+
+fn bench_lia(c: &mut Criterion) {
+    let mut sig = Signature::new();
+    let keys: Vec<hotg_logic::LinKey> = (0..6)
+        .map(|i| hotg_logic::LinKey::Var(sig.declare_var(format!("v{i}"), Sort::Int)))
+        .collect();
+    c.bench_function("lia/branch_and_bound", |b| {
+        b.iter(|| {
+            let cons = vec![
+                IntConstraint {
+                    coeffs: vec![(keys[0].clone(), 2), (keys[1].clone(), 2)],
+                    constant: -6,
+                    kind: ConKind::Eq,
+                },
+                IntConstraint {
+                    coeffs: vec![(keys[0].clone(), 1), (keys[1].clone(), -1)],
+                    constant: 1,
+                    kind: ConKind::Le,
+                },
+                IntConstraint {
+                    coeffs: vec![(keys[2].clone(), 3), (keys[3].clone(), 5)],
+                    constant: -17,
+                    kind: ConKind::Eq,
+                },
+            ];
+            black_box(solve_int(&cons, &LiaConfig::default()))
+        })
+    });
+}
+
+fn smt_formula() -> (Signature, Formula) {
+    let mut sig = Signature::new();
+    let x = sig.declare_var("x", Sort::Int);
+    let y = sig.declare_var("y", Sort::Int);
+    let h = sig.declare_func("h", 1);
+    let f = Formula::atom(Atom::eq(Term::var(x), Term::var(y) + Term::int(1)))
+        .and(Formula::atom(Atom::eq(
+            Term::app(h, vec![Term::var(x)]),
+            Term::int(5),
+        )))
+        .and(Formula::atom(Atom::ne(
+            Term::app(h, vec![Term::var(y) + Term::int(1)]),
+            Term::int(5),
+        )));
+    (sig, f)
+}
+
+fn bench_smt(c: &mut Criterion) {
+    let (_, f) = smt_formula();
+    c.bench_function("smt/uf_congruence_unsat", |b| {
+        let solver = SmtSolver::new();
+        b.iter(|| black_box(solver.check(&f).unwrap()))
+    });
+}
+
+fn bench_validity(c: &mut Criterion) {
+    let mut sig = Signature::new();
+    let x = sig.declare_var("x", Sort::Int);
+    let y = sig.declare_var("y", Sort::Int);
+    let h = sig.declare_func("hash", 1);
+    let mut samples = Samples::new();
+    samples.record(h, vec![42], 567);
+    let pc = Formula::atom(Atom::eq(Term::var(x), Term::app(h, vec![Term::var(y)])));
+    c.bench_function("validity/obscure_alt", |b| {
+        let checker = ValidityChecker::new();
+        b.iter(|| black_box(checker.check(&[x, y], &samples, &pc).unwrap()))
+    });
+
+    // §7-style inversion: one symbolic application against a keyword
+    // sample table.
+    let mut sig2 = Signature::new();
+    let cells: Vec<_> = (0..4)
+        .map(|i| sig2.declare_var(format!("buf[{i}]"), Sort::Int))
+        .collect();
+    let hf = sig2.declare_func("hashfunct", 4);
+    let mut table = Samples::new();
+    for k in 0..16i64 {
+        table.record(hf, vec![k, k + 1, k + 2, k + 3], (k * 31) % 1024);
+    }
+    let app = Term::app(hf, cells.iter().map(|&v| Term::var(v)).collect());
+    let target = Formula::atom(Atom::eq(app, Term::int((5 * 31) % 1024)));
+    c.bench_function("validity/hash_inversion_16_samples", |b| {
+        let checker = ValidityChecker::new();
+        b.iter(|| black_box(checker.check(&cells, &table, &target).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sat, bench_simplex, bench_lia, bench_smt, bench_validity
+}
+criterion_main!(benches);

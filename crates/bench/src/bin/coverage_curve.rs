@@ -1,0 +1,40 @@
+//! Coverage-over-runs series for each technique on the §7 lexer — the
+//! data behind a coverage figure, printed as CSV.
+//!
+//! ```text
+//! cargo run --release -p hotg-bench --bin coverage_curve [max_runs]
+//! ```
+
+use hotg_core::{Driver, Technique};
+use hotg_lexapp::{lexer_config, LexerVariant};
+
+fn main() {
+    let max_runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let (program, natives) = LexerVariant::Fixed.program();
+
+    let mut curves = Vec::new();
+    for technique in Technique::ALL {
+        let config = lexer_config(&program, max_runs);
+        let report = Driver::new(&program, &natives, config).run(technique);
+        curves.push((technique, report.coverage_curve()));
+    }
+
+    println!("run,{}", Technique::ALL.map(|t| t.label()).join(","));
+    for i in 0..max_runs {
+        let row: Vec<String> = curves
+            .iter()
+            .map(|(_, c)| {
+                // Campaigns that terminated early hold their last value.
+                c.get(i)
+                    .or_else(|| c.last())
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "0".to_string())
+            })
+            .collect();
+        println!("{},{}", i + 1, row.join(","));
+    }
+    eprintln!("\ntotal branch directions: {}", 2 * program.branch_count);
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's worked examples (Sections 1, 3, 5) as a
+//! claim-check table.
+//!
+//! ```text
+//! cargo run --release -p hotg-bench --bin experiments
+//! ```
+
+fn main() {
+    println!("Higher-Order Test Generation (PLDI 2011) — example reproduction\n");
+    let rows = hotg_bench::paper_examples();
+    print!("{}", hotg_bench::render_rows(&rows));
+    let failed = rows.iter().filter(|r| !r.pass).count();
+    println!(
+        "\n{} claims checked, {} passed, {} failed",
+        rows.len(),
+        rows.len() - failed,
+        failed
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

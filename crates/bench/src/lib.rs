@@ -1,0 +1,301 @@
+//! Shared experiment machinery for the reproduction binaries and
+//! benchmarks.
+//!
+//! [`paper_examples`] evaluates every worked example of the paper
+//! (Sections 1, 3, 5) as a mechanical claim check; the `experiments`
+//! binary prints the resulting table, and the integration tests assert
+//! every row passes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hotg_core::{Driver, DriverConfig, Technique};
+use hotg_lang::corpus;
+
+/// One reproduced paper claim.
+#[derive(Clone, Debug)]
+pub struct ExperimentRow {
+    /// Experiment id (paper section / example number).
+    pub id: &'static str,
+    /// Program under test.
+    pub program: &'static str,
+    /// Technique exercised.
+    pub technique: Technique,
+    /// The paper's claim, verbatim-ish.
+    pub claim: &'static str,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the measurement matches the claim.
+    pub pass: bool,
+}
+
+fn driver_config(initial: Vec<i64>) -> DriverConfig {
+    DriverConfig {
+        max_runs: 40,
+        ..DriverConfig::with_initial(initial)
+    }
+}
+
+fn run(name: &'static str, initial: Vec<i64>, technique: Technique) -> hotg_core::Report {
+    let (program, natives) = corpus::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, ctor)| ctor())
+        .unwrap_or_else(|| panic!("unknown corpus program {name}"));
+    let driver = Driver::new(&program, &natives, driver_config(initial));
+    driver.run(technique)
+}
+
+/// Reproduces every worked example of the paper and returns one row per
+/// claim.
+pub fn paper_examples() -> Vec<ExperimentRow> {
+    let mut rows = Vec::new();
+
+    // §1 `obscure`: dynamic test generation covers both branches; static
+    // (here: blackbox random, which also lacks the runtime values) fails.
+    for technique in [
+        Technique::DartUnsound,
+        Technique::DartSound,
+        Technique::HigherOrder,
+    ] {
+        let r = run("obscure", vec![33, 42], technique);
+        rows.push(ExperimentRow {
+            id: "S1-OBSCURE",
+            program: "obscure",
+            technique,
+            claim: "error branch covered on 2nd run",
+            measured: format!("first_hit={:?}", r.first_hit(1)),
+            pass: r.first_hit(1) == Some(1),
+        });
+    }
+    let r = run("obscure", vec![33, 42], Technique::Random);
+    rows.push(ExperimentRow {
+        id: "S1-OBSCURE",
+        program: "obscure",
+        technique: Technique::Random,
+        claim: "random cannot invert hash",
+        measured: format!("errors={:?}", r.errors),
+        pass: !r.found_error(1),
+    });
+
+    // §3.2 `foo`: unsound pc diverges.
+    let r = run("foo", vec![567, 42], Technique::DartUnsound);
+    rows.push(ExperimentRow {
+        id: "S3.2-FOO",
+        program: "foo",
+        technique: Technique::DartUnsound,
+        claim: "negating unsound pc causes divergence",
+        measured: format!("divergences={}", r.divergences),
+        pass: r.divergences >= 1,
+    });
+
+    // Example 1: sound concretization rejects the alternate pc, missing
+    // the error, with no divergences.
+    let r = run("foo", vec![567, 42], Technique::DartSound);
+    rows.push(ExperimentRow {
+        id: "EX1",
+        program: "foo",
+        technique: Technique::DartSound,
+        claim: "alternate pc UNSAT; error missed; no divergence",
+        measured: format!(
+            "errors={:?} rejected={} div={}",
+            r.errors, r.rejected_targets, r.divergences
+        ),
+        pass: !r.found_error(1) && r.rejected_targets >= 1 && r.divergences == 0,
+    });
+
+    // Example 7: higher-order reaches the error via a two-step probe.
+    let r = run("foo", vec![567, 42], Technique::HigherOrder);
+    rows.push(ExperimentRow {
+        id: "EX7",
+        program: "foo",
+        technique: Technique::HigherOrder,
+        claim: "two-step generation hits the error",
+        measured: format!("errors={:?} probes={}", r.errors, r.probes),
+        pass: r.found_error(1) && r.probes >= 1,
+    });
+
+    // Example 2 `foo-bis`: sound misses; unsound reaches it (good
+    // divergence).
+    let r = run("foo_bis", vec![33, 42], Technique::DartSound);
+    rows.push(ExperimentRow {
+        id: "EX2",
+        program: "foo_bis",
+        technique: Technique::DartSound,
+        claim: "sound concretization misses the error",
+        measured: format!("errors={:?}", r.errors),
+        pass: !r.found_error(1),
+    });
+    let r = run("foo_bis", vec![33, 42], Technique::DartUnsound);
+    rows.push(ExperimentRow {
+        id: "EX2",
+        program: "foo_bis",
+        technique: Technique::DartUnsound,
+        claim: "unsound concretization reaches the error",
+        measured: format!("errors={:?}", r.errors),
+        pass: r.found_error(1),
+    });
+
+    // Example 3 `bar`: unsound diverges; higher-order proves invalidity
+    // and generates nothing.
+    let r = run("bar", vec![33, 42], Technique::DartUnsound);
+    rows.push(ExperimentRow {
+        id: "EX3",
+        program: "bar",
+        technique: Technique::DartUnsound,
+        claim: "unsound concretization diverges",
+        measured: format!("divergences={}", r.divergences),
+        pass: r.divergences >= 1,
+    });
+    let r = run("bar", vec![33, 42], Technique::HigherOrder);
+    rows.push(ExperimentRow {
+        id: "EX3",
+        program: "bar",
+        technique: Technique::HigherOrder,
+        claim: "invalid formula, no test generated",
+        measured: format!("runs={} rejected={}", r.total_runs(), r.rejected_targets),
+        pass: r.total_runs() == 1 && r.rejected_targets >= 1,
+    });
+
+    // Example 4 `pub`: both sound concretization and higher-order (with
+    // samples) reach the error.
+    for technique in [Technique::DartSound, Technique::HigherOrder] {
+        let r = run("pub", vec![1, 2], technique);
+        rows.push(ExperimentRow {
+            id: "EX4",
+            program: "pub",
+            technique,
+            claim: "error reached using runtime observations",
+            measured: format!("errors={:?}", r.errors),
+            pass: r.found_error(1),
+        });
+    }
+
+    // Example 5: only higher-order covers f(x) = f(y).
+    for (technique, expect) in [
+        (Technique::DartUnsound, false),
+        (Technique::DartSound, false),
+        (Technique::HigherOrder, true),
+    ] {
+        let r = run("euf_eq", vec![5, 6], technique);
+        rows.push(ExperimentRow {
+            id: "EX5",
+            program: "euf_eq",
+            technique,
+            claim: if expect {
+                "EUF strategy x := y covers the branch"
+            } else {
+                "concretization cannot justify f(x)=f(y)"
+            },
+            measured: format!("errors={:?}", r.errors),
+            pass: r.found_error(1) == expect,
+        });
+    }
+
+    // Example 6: only higher-order covers f(x) = f(y) + 1 (via samples).
+    for (technique, expect) in [
+        (Technique::DartSound, false),
+        (Technique::HigherOrder, true),
+    ] {
+        let r = run("euf_offset", vec![5, 6], technique);
+        rows.push(ExperimentRow {
+            id: "EX6",
+            program: "euf_offset",
+            technique,
+            claim: if expect {
+                "antecedent samples make the formula valid"
+            } else {
+                "concretization cannot relate f(x) and f(y)+1"
+            },
+            measured: format!("errors={:?}", r.errors),
+            pass: r.found_error(1) == expect,
+        });
+    }
+
+    // §8: higher-order compositional test generation on the summarized
+    // helper program.
+    for technique in [Technique::HigherOrderCompositional, Technique::HigherOrder] {
+        let r = run("composed", vec![0, 0], technique);
+        rows.push(ExperimentRow {
+            id: "S8-COMP",
+            program: "composed",
+            technique,
+            claim: "summaries + UF samples reach the deep error",
+            measured: format!("errors={:?} probes={}", r.errors, r.probes),
+            pass: r.found_error(1),
+        });
+    }
+
+    // §3.3 final remark: delayed concretization variant.
+    let r = run("delayed", vec![33, 42], Technique::DartSound);
+    rows.push(ExperimentRow {
+        id: "S3.3-DELAY",
+        program: "delayed",
+        technique: Technique::DartSound,
+        claim: "eager pinning blocks the y == 10 branch",
+        measured: format!("errors={:?}", r.errors),
+        pass: !r.found_error(1),
+    });
+    let r = run("delayed", vec![33, 42], Technique::DartSoundDelayed);
+    rows.push(ExperimentRow {
+        id: "S3.3-DELAY",
+        program: "delayed",
+        technique: Technique::DartSoundDelayed,
+        claim: "delayed pinning covers the y == 10 branch",
+        measured: format!("errors={:?} div={}", r.errors, r.divergences),
+        pass: r.found_error(1) && r.divergences == 0,
+    });
+
+    rows
+}
+
+/// Renders experiment rows as a fixed-width table.
+pub fn render_rows(rows: &[ExperimentRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<11} {:<12} {:<13} {:<6} {:<44} {}\n",
+        "experiment", "program", "technique", "status", "paper claim", "measured"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:<12} {:<13} {:<6} {:<44} {}\n",
+            r.id,
+            r.program,
+            r.technique.label(),
+            if r.pass { "PASS" } else { "FAIL" },
+            r.claim,
+            r.measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_examples_pass() {
+        let rows = paper_examples();
+        assert!(rows.len() >= 18);
+        let failures: Vec<&ExperimentRow> = rows.iter().filter(|r| !r.pass).collect();
+        assert!(
+            failures.is_empty(),
+            "failed rows:\n{}",
+            render_rows(
+                &failures
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<ExperimentRow>>()
+            )
+        );
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let rows = paper_examples();
+        let s = render_rows(&rows);
+        assert!(s.contains("experiment"));
+        assert!(s.lines().count() >= rows.len());
+    }
+}

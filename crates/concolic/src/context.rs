@@ -1,0 +1,157 @@
+//! Per-program symbolic context: the signature mapping program inputs to
+//! symbolic variables and unknown functions/instructions to uninterpreted
+//! function symbols.
+
+use hotg_lang::{BinOp, Param, Program};
+use hotg_logic::{FuncSym, Signature, Sort, Term, Var};
+use std::collections::HashMap;
+
+/// Symbol context shared by all runs of one program.
+///
+/// Inputs are flattened in parameter order (array parameters contribute
+/// one symbolic variable per element, named `buf[i]`). Every declared
+/// native function gets an uninterpreted symbol; the non-linear
+/// instructions `*`, `/`, `%` get the reserved symbols `@mul`, `@div`,
+/// `@mod` — the paper's "unknown instructions" represented by
+/// uninterpreted functions (Figure 3, line 10).
+#[derive(Clone, Debug)]
+pub struct ConcolicContext {
+    sig: Signature,
+    input_vars: Vec<Var>,
+    natives: HashMap<String, FuncSym>,
+    defined: HashMap<String, FuncSym>,
+    op_mul: FuncSym,
+    op_div: FuncSym,
+    op_mod: FuncSym,
+}
+
+impl ConcolicContext {
+    /// Builds the context for a program.
+    pub fn new(program: &Program) -> ConcolicContext {
+        let mut sig = Signature::new();
+        let mut input_vars = Vec::new();
+        for p in &program.params {
+            match p {
+                Param::Scalar(name) => {
+                    input_vars.push(sig.declare_var(name.clone(), Sort::Int));
+                }
+                Param::Array(name, len) => {
+                    for i in 0..*len {
+                        input_vars.push(sig.declare_var(format!("{name}[{i}]"), Sort::Int));
+                    }
+                }
+            }
+        }
+        let mut natives = HashMap::new();
+        for n in &program.natives {
+            natives.insert(n.name.clone(), sig.declare_func(n.name.clone(), n.arity));
+        }
+        let mut defined = HashMap::new();
+        for f in &program.functions {
+            defined.insert(
+                f.name.clone(),
+                sig.declare_func(f.name.clone(), f.params.len()),
+            );
+        }
+        let op_mul = sig.declare_func("@mul", 2);
+        let op_div = sig.declare_func("@div", 2);
+        let op_mod = sig.declare_func("@mod", 2);
+        ConcolicContext {
+            sig,
+            input_vars,
+            natives,
+            defined,
+            op_mul,
+            op_div,
+            op_mod,
+        }
+    }
+
+    /// The signature (variable and function declarations).
+    pub fn sig(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Symbolic variables for the flattened inputs, in order.
+    pub fn input_vars(&self) -> &[Var] {
+        &self.input_vars
+    }
+
+    /// The input term for flat input index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input_term(&self, i: usize) -> Term {
+        Term::var(self.input_vars[i])
+    }
+
+    /// The uninterpreted symbol of a declared native function.
+    pub fn native_sym(&self, name: &str) -> Option<FuncSym> {
+        self.natives.get(name).copied()
+    }
+
+    /// The uninterpreted symbol of a *defined* function (used when calls
+    /// are summarized instead of inlined — §8's compositional mode).
+    pub fn defined_sym(&self, name: &str) -> Option<FuncSym> {
+        self.defined.get(name).copied()
+    }
+
+    /// `true` if the symbol stands for a defined (summarizable) function.
+    pub fn is_defined_sym(&self, f: FuncSym) -> bool {
+        self.defined.values().any(|&d| d == f)
+    }
+
+    /// The uninterpreted symbol modelling a non-linear instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not `*`, `/`, or `%`.
+    pub fn op_sym(&self, op: BinOp) -> FuncSym {
+        match op {
+            BinOp::Mul => self.op_mul,
+            BinOp::Div => self.op_div,
+            BinOp::Mod => self.op_mod,
+            other => panic!("operator {other:?} is not an unknown instruction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotg_lang::parse;
+
+    #[test]
+    fn flattens_inputs() {
+        let p =
+            parse("native hash/1; program t(x: int, buf: array[3], y: int) { return; }").unwrap();
+        let ctx = ConcolicContext::new(&p);
+        assert_eq!(ctx.input_vars().len(), 5);
+        assert_eq!(ctx.sig().var_name(ctx.input_vars()[0]), "x");
+        assert_eq!(ctx.sig().var_name(ctx.input_vars()[2]), "buf[1]");
+        assert_eq!(ctx.sig().var_name(ctx.input_vars()[4]), "y");
+        assert!(ctx.native_sym("hash").is_some());
+        assert!(ctx.native_sym("nope").is_none());
+    }
+
+    #[test]
+    fn op_syms_distinct() {
+        let p = parse("program t(x: int) { return; }").unwrap();
+        let ctx = ConcolicContext::new(&p);
+        let m = ctx.op_sym(BinOp::Mul);
+        let d = ctx.op_sym(BinOp::Div);
+        let r = ctx.op_sym(BinOp::Mod);
+        assert!(m != d && d != r && m != r);
+        assert_eq!(ctx.sig().func_name(m), "@mul");
+        assert_eq!(ctx.sig().func_arity(m), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an unknown instruction")]
+    fn op_sym_rejects_linear_ops() {
+        let p = parse("program t(x: int) { return; }").unwrap();
+        let ctx = ConcolicContext::new(&p);
+        let _ = ctx.op_sym(BinOp::Add);
+    }
+}

@@ -1,0 +1,32 @@
+//! Concolic (DART-style) execution engine for `mini` programs:
+//! side-by-side concrete + symbolic execution, path-constraint
+//! collection, and divergence detection.
+//!
+//! This crate reproduces the executable content of Figures 1–3 of
+//! Godefroid's *Higher-Order Test Generation* (PLDI 2011):
+//!
+//! * [`execute`] runs a program concretely while collecting a
+//!   [`PathConstraint`] under one of three [`SymbolicMode`]s — DART's
+//!   unsound concretization, sound concretization (§3.3), or
+//!   uninterpreted functions with input–output sampling (§4.1);
+//! * [`PathConstraint::alt`] builds the alternate path constraints
+//!   `ALT(pc)` that a directed search negates and solves;
+//! * [`diverged`] compares an expected path against an actual run's
+//!   branch trace (§3.2).
+//!
+//! The directed-search drivers that turn these pieces into the paper's
+//! four test-generation techniques live in `hotg-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod exec;
+mod path;
+
+pub use context::ConcolicContext;
+pub use exec::{execute, execute_opts, ConcolicRun, SymbolicMode};
+pub use path::{diverged, EntryKind, PathConstraint, PathConstraintDisplay, PathEntry};
+
+#[cfg(test)]
+mod tests;

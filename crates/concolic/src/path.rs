@@ -1,0 +1,249 @@
+//! Path constraints collected during concolic execution.
+
+use hotg_lang::BranchId;
+use hotg_logic::{Formula, Signature};
+use std::fmt;
+
+/// Why an entry was added to the path constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Constraint from a conditional statement (negatable in the search).
+    Branch,
+    /// Concretization constraint `xᵢ = Iᵢ` injected by *sound
+    /// concretization* (Figure 1, line 14). Never negated: "negating these
+    /// constraints will not define alternate path constraints" (§3.3).
+    Concretization,
+}
+
+/// One entry of a path constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathEntry {
+    /// The constraint, already oriented for the direction taken (the
+    /// `else` direction stores the negated condition, Figure 2 line 14).
+    pub constraint: Formula,
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// The conditional site and direction, for [`EntryKind::Branch`].
+    pub branch: Option<(BranchId, bool)>,
+}
+
+/// The path constraint `pc` of one execution: a conjunction of entries in
+/// execution order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathConstraint {
+    /// Entries in collection order.
+    pub entries: Vec<PathEntry>,
+}
+
+impl PathConstraint {
+    /// Creates an empty path constraint (`pc = true`).
+    pub fn new() -> PathConstraint {
+        PathConstraint::default()
+    }
+
+    /// Appends a branch entry.
+    pub fn push_branch(&mut self, constraint: Formula, id: BranchId, taken: bool) {
+        self.entries.push(PathEntry {
+            constraint,
+            kind: EntryKind::Branch,
+            branch: Some((id, taken)),
+        });
+    }
+
+    /// Appends a concretization entry (deduplicated).
+    pub fn push_concretization(&mut self, constraint: Formula) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.kind == EntryKind::Concretization && e.constraint == constraint)
+        {
+            return;
+        }
+        self.entries.push(PathEntry {
+            constraint,
+            kind: EntryKind::Concretization,
+            branch: None,
+        });
+    }
+
+    /// The whole `pc` as a conjunction.
+    pub fn formula(&self) -> Formula {
+        Formula::conj(self.entries.iter().map(|e| e.constraint.clone()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no constraints were collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Indices of negatable (branch) entries.
+    pub fn branch_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == EntryKind::Branch)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The alternate path constraint `ALT` at branch entry `j`: the
+    /// conjunction of all entries before `j` with the negation of entry
+    /// `j` (paper §5.2). Returns `None` if `j` is out of range or not a
+    /// branch entry.
+    pub fn alt(&self, j: usize) -> Option<Formula> {
+        let entry = self.entries.get(j)?;
+        if entry.kind != EntryKind::Branch {
+            return None;
+        }
+        let prefix = Formula::conj(self.entries[..j].iter().map(|e| e.constraint.clone()));
+        Some(prefix.and(entry.constraint.negate()))
+    }
+
+    /// The branch path an execution satisfying [`PathConstraint::alt`]`(j)`
+    /// is expected to follow: the branch prefix before `j`, then the
+    /// flipped direction at `j`. Used for divergence detection (§3.2).
+    pub fn expected_path(&self, j: usize) -> Option<Vec<(BranchId, bool)>> {
+        let entry = self.entries.get(j)?;
+        let (id, taken) = entry.branch?;
+        let mut out: Vec<(BranchId, bool)> =
+            self.entries[..j].iter().filter_map(|e| e.branch).collect();
+        out.push((id, !taken));
+        Some(out)
+    }
+
+    /// Renders the path constraint with names from `sig`.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> PathConstraintDisplay<'a> {
+        PathConstraintDisplay { pc: self, sig }
+    }
+}
+
+/// Helper returned by [`PathConstraint::display`].
+pub struct PathConstraintDisplay<'a> {
+    pc: &'a PathConstraint,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for PathConstraintDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pc.entries.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, e) in self.pc.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" /\\ ")?;
+            }
+            match e.kind {
+                EntryKind::Branch => write!(f, "{}", e.constraint.display(self.sig))?,
+                EntryKind::Concretization => write!(f, "[{}]", e.constraint.display(self.sig))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compares an actual branch trace against the expected path: the run
+/// *diverges* if the actual trace does not start with the expected
+/// prefix (paper §3.2).
+pub fn diverged(expected: &[(BranchId, bool)], actual: &[(BranchId, bool)]) -> bool {
+    if actual.len() < expected.len() {
+        return true;
+    }
+    expected.iter().zip(actual.iter()).any(|(e, a)| e != a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotg_logic::{Atom, Signature, Sort, Term};
+
+    fn atom(sig_var: hotg_logic::Var, v: i64) -> Formula {
+        Formula::atom(Atom::eq(Term::var(sig_var), Term::int(v)))
+    }
+
+    fn setup() -> (Signature, hotg_logic::Var, hotg_logic::Var) {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        (sig, x, y)
+    }
+
+    #[test]
+    fn alt_and_expected_path() {
+        let (_, x, y) = setup();
+        let mut pc = PathConstraint::new();
+        pc.push_branch(atom(x, 1), BranchId(0), true);
+        pc.push_branch(atom(y, 2).negate(), BranchId(1), false);
+        let alt = pc.alt(1).unwrap();
+        // prefix (x=1) ∧ ¬¬(y=2)
+        assert_eq!(alt, atom(x, 1).and(atom(y, 2)));
+        assert_eq!(
+            pc.expected_path(1).unwrap(),
+            vec![(BranchId(0), true), (BranchId(1), true)]
+        );
+        assert_eq!(pc.expected_path(0).unwrap(), vec![(BranchId(0), false)]);
+    }
+
+    #[test]
+    fn alt_rejects_concretization_entries() {
+        let (_, x, _) = setup();
+        let mut pc = PathConstraint::new();
+        pc.push_concretization(atom(x, 5));
+        assert_eq!(pc.alt(0), None);
+        assert_eq!(pc.expected_path(0), None);
+        assert!(pc.branch_indices().is_empty());
+    }
+
+    #[test]
+    fn concretization_dedup() {
+        let (_, x, _) = setup();
+        let mut pc = PathConstraint::new();
+        pc.push_concretization(atom(x, 5));
+        pc.push_concretization(atom(x, 5));
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn formula_conjunction() {
+        let (_, x, y) = setup();
+        let mut pc = PathConstraint::new();
+        assert_eq!(pc.formula(), Formula::True);
+        assert!(pc.is_empty());
+        pc.push_branch(atom(x, 1), BranchId(0), true);
+        pc.push_concretization(atom(y, 2));
+        assert_eq!(pc.formula(), atom(x, 1).and(atom(y, 2)));
+        assert_eq!(pc.branch_indices(), vec![0]);
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let expected = vec![(BranchId(0), true), (BranchId(1), false)];
+        let same = vec![(BranchId(0), true), (BranchId(1), false)];
+        let longer = vec![
+            (BranchId(0), true),
+            (BranchId(1), false),
+            (BranchId(2), true),
+        ];
+        let wrong = vec![(BranchId(0), true), (BranchId(1), true)];
+        let short = vec![(BranchId(0), true)];
+        assert!(!diverged(&expected, &same));
+        assert!(!diverged(&expected, &longer));
+        assert!(diverged(&expected, &wrong));
+        assert!(diverged(&expected, &short));
+    }
+
+    #[test]
+    fn display_marks_concretizations() {
+        let (sig, x, y) = setup();
+        let mut pc = PathConstraint::new();
+        assert_eq!(pc.display(&sig).to_string(), "true");
+        pc.push_concretization(atom(y, 42));
+        pc.push_branch(atom(x, 567), BranchId(0), true);
+        let s = pc.display(&sig).to_string();
+        assert_eq!(s, "[y = 42] /\\ x = 567");
+    }
+}

@@ -1,0 +1,452 @@
+//! Engine-level tests reproducing the paper's narrated executions.
+
+use crate::{execute, ConcolicContext, EntryKind, SymbolicMode};
+use hotg_lang::{corpus, parse, run, InputVector, NativeRegistry, Outcome};
+use hotg_logic::{Formula, Model, Term, Value};
+
+const FUEL: u64 = 100_000;
+
+fn run_mode(
+    name: &str,
+    inputs: Vec<i64>,
+    mode: SymbolicMode,
+) -> (crate::ConcolicRun, ConcolicContext) {
+    let (program, natives) = corpus::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, ctor)| ctor())
+        .unwrap_or_else(|| panic!("unknown corpus program {name}"));
+    let ctx = ConcolicContext::new(&program);
+    let run = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(inputs),
+        mode,
+        FUEL,
+    );
+    (run, ctx)
+}
+
+#[test]
+fn obscure_unsound_pc_matches_paper() {
+    // §4.2: "With the standard symbolic execution of Figure 2, the single
+    // constraint appearing in the path constraint pc is x ≠ 567."
+    let (r, ctx) = run_mode("obscure", vec![33, 42], SymbolicMode::UnsoundConcretize);
+    assert_eq!(r.outcome, Outcome::Returned);
+    assert_eq!(r.pc.len(), 1);
+    assert_eq!(r.concretizations, 1);
+    assert_eq!(r.pc.display(ctx.sig()).to_string(), "x != 567");
+}
+
+#[test]
+fn obscure_sound_adds_concretization_constraint() {
+    // §3.3: sound concretization injects y = 42 before the branch
+    // constraint.
+    let (r, ctx) = run_mode("obscure", vec![33, 42], SymbolicMode::SoundConcretize);
+    assert_eq!(r.pc.len(), 2);
+    assert_eq!(r.pc.entries[0].kind, EntryKind::Concretization);
+    assert_eq!(r.pc.entries[1].kind, EntryKind::Branch);
+    assert_eq!(r.pc.display(ctx.sig()).to_string(), "[y = 42] /\\ x != 567");
+}
+
+#[test]
+fn obscure_uninterpreted_pc_and_samples() {
+    // §4.2: "the single constraint appearing in the path constraint is
+    // now x = h(y)" (negated here: the else branch was taken), and the
+    // pair (567, h(42)) is recorded.
+    let (r, ctx) = run_mode("obscure", vec![33, 42], SymbolicMode::Uninterpreted);
+    assert_eq!(r.pc.len(), 1);
+    assert_eq!(r.uf_apps, 1);
+    assert_eq!(r.pc.display(ctx.sig()).to_string(), "x != hash(y)");
+    let hash = ctx.sig().func_by_name("hash").unwrap();
+    assert_eq!(r.samples.lookup(hash, &[42]), Some(567));
+}
+
+#[test]
+fn foo_unsound_pc_is_paper_example() {
+    // §3.2: inputs x=567, y=42 take the then branch; pc is
+    // x = 567 ∧ y ≠ 10 — which is unsound.
+    let (r, ctx) = run_mode("foo", vec![567, 42], SymbolicMode::UnsoundConcretize);
+    assert_eq!(r.outcome, Outcome::Returned);
+    assert_eq!(r.pc.display(ctx.sig()).to_string(), "x = 567 /\\ y != 10");
+}
+
+#[test]
+fn foo_sound_pc_is_example1() {
+    // Example 1: sound path constraint y = 42 ∧ x = 567 ∧ y ≠ 10.
+    let (r, ctx) = run_mode("foo", vec![567, 42], SymbolicMode::SoundConcretize);
+    assert_eq!(
+        r.pc.display(ctx.sig()).to_string(),
+        "[y = 42] /\\ x = 567 /\\ y != 10"
+    );
+}
+
+#[test]
+fn foo_uninterpreted_pc() {
+    let (r, ctx) = run_mode("foo", vec![567, 42], SymbolicMode::Uninterpreted);
+    assert_eq!(
+        r.pc.display(ctx.sig()).to_string(),
+        "x = hash(y) /\\ y != 10"
+    );
+}
+
+#[test]
+fn bar_unsound_concretizes_both_hashes() {
+    // Example 3: pc becomes x = 567 ∧ y = 123 — wait, with x=33,y=42 the
+    // condition is false, so the *negated* conjunction is recorded.
+    let (r, _ctx) = run_mode("bar", vec![33, 42], SymbolicMode::UnsoundConcretize);
+    assert_eq!(r.concretizations, 2);
+    assert_eq!(r.pc.len(), 1);
+    // The entry is ¬(x = 567 ∧ y = 123) = (x ≠ 567 ∨ y ≠ 123).
+    let mut m = Model::new();
+    let vars: Vec<_> = r.pc.formula().vars().into_iter().collect();
+    m.set_var(vars[0], Value::Int(567));
+    m.set_var(vars[1], Value::Int(123));
+    assert_eq!(r.pc.formula().eval(&m), Some(false));
+}
+
+#[test]
+fn bar_uninterpreted_keeps_both_applications() {
+    let (r, ctx) = run_mode("bar", vec![33, 42], SymbolicMode::Uninterpreted);
+    assert_eq!(r.uf_apps, 2);
+    let hash = ctx.sig().func_by_name("hash").unwrap();
+    assert_eq!(r.samples.lookup(hash, &[42]), Some(567));
+    assert_eq!(r.samples.lookup(hash, &[33]), Some(123));
+    // pc is the negation of (x = h(y) ∧ y = h(x)).
+    let apps = r.pc.formula().apps();
+    assert_eq!(apps.len(), 2);
+}
+
+#[test]
+fn nonlinear_mul_is_unknown_instruction() {
+    // x*y: concretized in DART modes, @mul application in UF mode.
+    let (r, _ctx) = run_mode("nonlinear", vec![3, 4], SymbolicMode::UnsoundConcretize);
+    assert_eq!(r.outcome, Outcome::Error(1));
+    assert_eq!(r.concretizations, 1);
+    // Condition 12 == 12 folds to a constant-true entry.
+    assert_eq!(r.pc.entries[0].constraint, Formula::True);
+
+    let (r2, ctx2) = run_mode("nonlinear", vec![3, 4], SymbolicMode::Uninterpreted);
+    assert_eq!(r2.uf_apps, 1);
+    let mul = ctx2.sig().func_by_name("@mul").unwrap();
+    assert_eq!(r2.samples.lookup(mul, &[3, 4]), Some(12));
+    assert_eq!(r2.pc.display(ctx2.sig()).to_string(), "@mul(x, y) = 12");
+}
+
+#[test]
+fn nonlinear_sound_mode_pins_both_inputs() {
+    let (r, ctx) = run_mode("nonlinear", vec![3, 5], SymbolicMode::SoundConcretize);
+    assert_eq!(r.outcome, Outcome::Returned);
+    let s = r.pc.display(ctx.sig()).to_string();
+    assert!(s.contains("[x = 3]"), "{s}");
+    assert!(s.contains("[y = 5]"), "{s}");
+}
+
+#[test]
+fn trace_identical_to_plain_interpreter() {
+    // The concolic branch/native trace must match hotg_lang::run exactly.
+    let cases: Vec<(&str, Vec<i64>)> = vec![
+        ("obscure", vec![33, 42]),
+        ("obscure", vec![567, 42]),
+        ("foo", vec![567, 42]),
+        ("foo_bis", vec![33, 42]),
+        ("bar", vec![33, 42]),
+        ("pub", vec![1, 10]),
+        ("euf_eq", vec![5, 5]),
+        ("euf_offset", vec![1, 0]),
+        ("nonlinear", vec![3, 4]),
+    ];
+    for (name, inputs) in cases {
+        let (program, natives) = corpus::all()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ctor)| ctor())
+            .unwrap();
+        let ctx = ConcolicContext::new(&program);
+        for mode in SymbolicMode::ALL {
+            let iv = InputVector::new(inputs.clone());
+            let conc = execute(&ctx, &program, &natives, &iv, mode, FUEL);
+            let (out, trace) = run(&program, &natives, &iv, FUEL);
+            assert_eq!(conc.outcome, out, "{name} {mode:?}");
+            assert_eq!(conc.trace, trace, "{name} {mode:?}");
+        }
+    }
+}
+
+#[test]
+fn pc_formula_holds_on_generating_inputs() {
+    // Theorem 3 sanity: the pc of a UF-mode run is satisfied by the very
+    // inputs that produced it, under the recorded samples.
+    for (name, inputs) in [
+        ("obscure", vec![33, 42]),
+        ("foo", vec![567, 42]),
+        ("bar", vec![33, 42]),
+        ("pub", vec![1, 10]),
+        ("euf_offset", vec![4, 9]),
+    ] {
+        let (program, natives) = corpus::all()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ctor)| ctor())
+            .unwrap();
+        let ctx = ConcolicContext::new(&program);
+        let iv = InputVector::new(inputs.clone());
+        let r = execute(
+            &ctx,
+            &program,
+            &natives,
+            &iv,
+            SymbolicMode::Uninterpreted,
+            FUEL,
+        );
+        let mut model = Model::new();
+        for (i, v) in ctx.input_vars().iter().enumerate() {
+            model.set_var(*v, Value::Int(inputs[i]));
+        }
+        for f in ctx.sig().funcs() {
+            for (args, out) in r.samples.entries_for(f) {
+                model.set_func_entry(f, args.clone(), out);
+            }
+        }
+        assert_eq!(
+            r.pc.formula().eval(&model),
+            Some(true),
+            "{name}: pc must hold on its own inputs"
+        );
+    }
+}
+
+#[test]
+fn loops_collect_per_iteration_constraints() {
+    let src = r#"program count(n: int) {
+        let i = 0;
+        while (i < n) { i = i + 1; }
+        if (i == 3) { error(1); }
+        return;
+    }"#;
+    let program = parse(src).unwrap();
+    hotg_lang::check(&program).unwrap();
+    let natives = NativeRegistry::new();
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![3]),
+        SymbolicMode::Uninterpreted,
+        FUEL,
+    );
+    assert_eq!(r.outcome, Outcome::Error(1));
+    // 3 true loop tests + 1 false + final if = 5 branch entries.
+    assert_eq!(r.pc.len(), 5);
+    // i's symbolic value stays a constant term, so the final constraint
+    // folds: the loop counter does not depend on inputs symbolically,
+    // only the tests do.
+    assert_eq!(r.pc.entries[4].constraint, Formula::True);
+}
+
+#[test]
+fn symbolic_array_index_is_concretized_soundly() {
+    let src = r#"program sel(buf: array[3], i: int) {
+        if (buf[i] == 7) { error(1); }
+        return;
+    }"#;
+    let program = parse(src).unwrap();
+    hotg_lang::check(&program).unwrap();
+    let natives = NativeRegistry::new();
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![5, 7, 9, 1]),
+        SymbolicMode::SoundConcretize,
+        FUEL,
+    );
+    assert_eq!(r.outcome, Outcome::Error(1));
+    let s = r.pc.display(ctx.sig()).to_string();
+    // Index i and the selected element buf[1] are pinned.
+    assert!(s.contains("[i = 1]"), "{s}");
+    assert!(s.contains("[buf[1] = 7]"), "{s}");
+}
+
+#[test]
+fn kstep_collects_nested_hash_constraints() {
+    let (program, natives) = corpus::kstep(2);
+    let ctx = ConcolicContext::new(&program);
+    let inputs = InputVector::new(vec![corpus::paper_hash(10), 10, corpus::paper_hash(11)]);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &inputs,
+        SymbolicMode::Uninterpreted,
+        FUEL,
+    );
+    assert_eq!(r.outcome, Outcome::Error(1));
+    assert_eq!(r.pc.len(), 3);
+    let hash = ctx.sig().func_by_name("hash").unwrap();
+    assert_eq!(r.samples.lookup(hash, &[10]), Some(66));
+    assert_eq!(r.samples.lookup(hash, &[11]), Some(corpus::paper_hash(11)));
+    // The last constraint mentions hash(y + 1).
+    let apps = r.pc.entries[2].constraint.apps();
+    assert_eq!(apps.len(), 1);
+    match &apps[0] {
+        Term::App(f, args) => {
+            assert_eq!(*f, hash);
+            assert_eq!(args.len(), 1);
+            assert!(matches!(args[0], Term::Op(..)));
+        }
+        other => panic!("expected application, got {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_fault_keeps_partial_pc() {
+    let src = r#"program f(x: int) {
+        if (x > 0) { let a = 1 / (x - x); }
+        return;
+    }"#;
+    let program = parse(src).unwrap();
+    let natives = NativeRegistry::new();
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![5]),
+        SymbolicMode::Uninterpreted,
+        FUEL,
+    );
+    assert!(matches!(r.outcome, Outcome::RuntimeFault(_)));
+    assert_eq!(r.pc.len(), 1);
+}
+
+#[test]
+fn inlined_function_is_precise() {
+    // Inline mode: the call body contributes symbolic structure and
+    // branch entries, exactly like inlining by hand.
+    let src = r#"
+        native hash/1;
+        fn wrap(v: int) {
+            if (v > 100) { return hash(v) + 1; }
+            return hash(v);
+        }
+        program t(x: int, y: int) {
+            if (x == wrap(y)) { error(1); }
+            return;
+        }
+    "#;
+    let program = parse(src).unwrap();
+    hotg_lang::check(&program).unwrap();
+    let mut natives = NativeRegistry::new();
+    natives.register("hash", 1, |a| corpus::paper_hash(a[0]));
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![0, 42]),
+        SymbolicMode::Uninterpreted,
+        FUEL,
+    );
+    // Two branch entries: the fn-internal guard and the caller's test.
+    assert_eq!(r.pc.len(), 2);
+    let s = r.pc.display(ctx.sig()).to_string();
+    assert!(s.contains("hash(y)"), "inlined symbolic value: {s}");
+    // Trace parity with the plain interpreter (fn-internal branch
+    // included in both).
+    let (out, trace) = hotg_lang::run(&program, &natives, &InputVector::new(vec![0, 42]), FUEL);
+    assert_eq!(r.outcome, out);
+    assert_eq!(r.trace, trace);
+}
+
+#[test]
+fn summarized_function_is_abstracted() {
+    let src = r#"
+        native hash/1;
+        fn wrap(v: int) {
+            if (v > 100) { return hash(v) + 1; }
+            return hash(v);
+        }
+        program t(x: int, y: int) {
+            if (x == wrap(y)) { error(1); }
+            return;
+        }
+    "#;
+    let program = parse(src).unwrap();
+    hotg_lang::check(&program).unwrap();
+    let mut natives = NativeRegistry::new();
+    natives.register("hash", 1, |a| corpus::paper_hash(a[0]));
+    let ctx = ConcolicContext::new(&program);
+    let r = hotg_concolic_execute_opts(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![0, 42]),
+        FUEL,
+    );
+    // Only the caller's branch is recorded; the body ran suppressed.
+    assert_eq!(r.pc.len(), 1);
+    let s = r.pc.display(ctx.sig()).to_string();
+    assert!(s.contains("wrap(y)"), "abstracted application: {s}");
+    // The IOF table holds the summarized sample wrap(42) = hash(42).
+    let wrap = ctx.sig().func_by_name("wrap").unwrap();
+    assert_eq!(r.samples.lookup(wrap, &[42]), Some(567));
+}
+
+fn hotg_concolic_execute_opts(
+    ctx: &ConcolicContext,
+    program: &hotg_lang::Program,
+    natives: &NativeRegistry,
+    inputs: &InputVector,
+    fuel: u64,
+) -> crate::ConcolicRun {
+    crate::execute_opts(
+        ctx,
+        program,
+        natives,
+        inputs,
+        SymbolicMode::Uninterpreted,
+        fuel,
+        true,
+    )
+}
+
+#[test]
+fn program_level_return_value_captured() {
+    let src = "program t(x: int) { return x + 1; }";
+    let program = parse(src).unwrap();
+    let natives = NativeRegistry::new();
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![41]),
+        SymbolicMode::Uninterpreted,
+        FUEL,
+    );
+    assert_eq!(r.outcome, Outcome::Returned);
+    assert_eq!(r.result, Some(42));
+    let term = r.result_term.unwrap();
+    assert_eq!(term.display(ctx.sig()).to_string(), "(x + 1)");
+}
+
+#[test]
+fn out_of_fuel_propagates() {
+    let src = "program f(x: int) { while (x == x) { } return; }";
+    let program = parse(src).unwrap();
+    let natives = NativeRegistry::new();
+    let ctx = ConcolicContext::new(&program);
+    let r = execute(
+        &ctx,
+        &program,
+        &natives,
+        &InputVector::new(vec![1]),
+        SymbolicMode::Uninterpreted,
+        100,
+    );
+    assert_eq!(r.outcome, Outcome::OutOfFuel);
+}

@@ -1,0 +1,137 @@
+//! Driver configuration.
+
+use hotg_solver::ValidityConfig;
+
+/// The four test-generation techniques compared throughout the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Technique {
+    /// Blackbox random testing (the §7 baseline).
+    Random,
+    /// Dynamic test generation with DART's default, unsound
+    /// concretization (§3.2).
+    DartUnsound,
+    /// Dynamic test generation with sound concretization (§3.3).
+    DartSound,
+    /// Sound concretization with *delayed* pinning constraints (§3.3,
+    /// final remark): inputs are pinned only when a concretized
+    /// expression is used in a branch constraint.
+    DartSoundDelayed,
+    /// Higher-order test generation (§4): uninterpreted functions,
+    /// sampling, validity-proof strategies, multi-step probes.
+    HigherOrder,
+    /// Higher-order **compositional** test generation (§8): defined
+    /// functions are abstracted by uninterpreted applications whose
+    /// behaviour is constrained by instantiated *summaries*, combined
+    /// with the sampled unknown natives in one antecedent.
+    HigherOrderCompositional,
+}
+
+impl Technique {
+    /// All techniques, in comparison order.
+    pub const ALL: [Technique; 6] = [
+        Technique::Random,
+        Technique::DartUnsound,
+        Technique::DartSound,
+        Technique::DartSoundDelayed,
+        Technique::HigherOrder,
+        Technique::HigherOrderCompositional,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Random => "random",
+            Technique::DartUnsound => "dart-unsound",
+            Technique::DartSound => "dart-sound",
+            Technique::DartSoundDelayed => "dart-sound-delayed",
+            Technique::HigherOrder => "higher-order",
+            Technique::HigherOrderCompositional => "higher-order-comp",
+        }
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of a directed-search driver.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Maximum number of program executions (tests + probes).
+    pub max_runs: usize,
+    /// Statement fuel per execution.
+    pub fuel: u64,
+    /// Validity-checker configuration (higher-order technique).
+    pub validity: ValidityConfig,
+    /// Seed for the random baseline and random initial inputs.
+    pub seed: u64,
+    /// Range for randomly generated input values (inclusive).
+    pub random_range: (i64, i64),
+    /// Keep the `IOF` sample table across runs (the cross-run variant
+    /// suggested at the end of §5.3 and §7). When `false`, each validity
+    /// check sees only the parent run's samples.
+    pub cross_run_samples: bool,
+    /// Maximum intermediate probe executions per search target
+    /// (multi-step test generation, Example 7).
+    pub max_probes_per_target: usize,
+    /// Explicit initial inputs; random when `None`.
+    pub initial_inputs: Option<Vec<i64>>,
+    /// Additional seed executions run before the directed search starts
+    /// (§7, last paragraph: when hash values are hard-coded and cannot be
+    /// observed at startup, "input-output pairs could still be learned
+    /// over time by starting the testing session with a representative
+    /// set of well-formed inputs").
+    pub seed_corpus: Vec<Vec<i64>>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            max_runs: 200,
+            fuel: 200_000,
+            validity: ValidityConfig::default(),
+            seed: 0x5eed,
+            random_range: (-1000, 1000),
+            cross_run_samples: true,
+            max_probes_per_target: 3,
+            initial_inputs: None,
+            seed_corpus: Vec::new(),
+        }
+    }
+}
+
+impl DriverConfig {
+    /// Config with explicit initial inputs (deterministic experiments).
+    pub fn with_initial(inputs: Vec<i64>) -> DriverConfig {
+        DriverConfig {
+            initial_inputs: Some(inputs),
+            ..DriverConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            Technique::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(Technique::HigherOrder.to_string(), "higher-order");
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = DriverConfig::default();
+        assert!(c.max_runs > 0);
+        assert!(c.fuel > 0);
+        assert!(c.random_range.0 <= c.random_range.1);
+        assert!(c.cross_run_samples);
+        let c2 = DriverConfig::with_initial(vec![1, 2]);
+        assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
+    }
+}

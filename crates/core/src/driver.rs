@@ -1,0 +1,502 @@
+//! Directed-search drivers for the four test-generation techniques.
+//!
+//! The search is generational (breadth-first over branch-flip targets, as
+//! in SAGE): every executed run contributes one target per negatable
+//! branch entry of its path constraint; targets are deduplicated by their
+//! expected branch path.
+//!
+//! * DART techniques solve `ALT(pc)` with a *satisfiability* query and
+//!   turn the model into inputs (unconstrained inputs keep the parent
+//!   run's values, as in the original DART).
+//! * The higher-order technique checks *validity* of
+//!   `POST(ALT(pc)) = ∃X : A ⇒ ALT(pc)` and interprets the resulting
+//!   strategy against the recorded samples, running intermediate probe
+//!   executions when a needed application value is unknown (multi-step
+//!   test generation, §5.3 Example 7).
+
+use crate::config::{DriverConfig, Technique};
+use crate::report::{Origin, Report, RunRecord};
+use crate::summaries::{SummaryConfig, SummaryTable};
+use hotg_concolic::{
+    diverged, execute_opts, ConcolicContext, ConcolicRun, PathConstraint, SymbolicMode,
+};
+use hotg_lang::{BranchId, InputVector, NativeRegistry, Program};
+use hotg_logic::{Formula, Value};
+use hotg_solver::{
+    Interpretation, Samples, SmtResult, SmtSolver, Strategy, ValidityChecker, ValidityOutcome,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// A branch-flip target produced by one executed run.
+#[derive(Clone, Debug)]
+struct Target {
+    parent_inputs: Vec<i64>,
+    pc: PathConstraint,
+    /// Index of the branch entry to negate.
+    j: usize,
+    /// Samples observed by the parent run (used when cross-run sampling
+    /// is disabled).
+    parent_samples: Samples,
+}
+
+/// A test-generation campaign on one program.
+#[derive(Debug)]
+pub struct Driver<'p> {
+    program: &'p Program,
+    natives: &'p NativeRegistry,
+    ctx: ConcolicContext,
+    config: DriverConfig,
+}
+
+impl<'p> Driver<'p> {
+    /// Creates a driver for a program.
+    pub fn new(
+        program: &'p Program,
+        natives: &'p NativeRegistry,
+        config: DriverConfig,
+    ) -> Driver<'p> {
+        Driver {
+            program,
+            natives,
+            ctx: ConcolicContext::new(program),
+            config,
+        }
+    }
+
+    /// The symbolic context (signature, input variables).
+    pub fn ctx(&self) -> &ConcolicContext {
+        &self.ctx
+    }
+
+    /// Runs a campaign with the given technique and returns its report.
+    pub fn run(&self, technique: Technique) -> Report {
+        let start = std::time::Instant::now();
+        let mut report = match technique {
+            Technique::Random => self.random_campaign(),
+            Technique::DartUnsound => self.directed(technique, SymbolicMode::UnsoundConcretize),
+            Technique::DartSound => self.directed(technique, SymbolicMode::SoundConcretize),
+            Technique::DartSoundDelayed => {
+                self.directed(technique, SymbolicMode::SoundConcretizeDelayed)
+            }
+            Technique::HigherOrder => self.directed(technique, SymbolicMode::Uninterpreted),
+            Technique::HigherOrderCompositional => {
+                self.directed(technique, SymbolicMode::Uninterpreted)
+            }
+        };
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    fn fresh_report(&self, technique: Technique) -> Report {
+        Report {
+            technique,
+            program: self.program.name.clone(),
+            runs: Vec::new(),
+            errors: BTreeMap::new(),
+            coverage: BTreeSet::new(),
+            divergences: 0,
+            probes: 0,
+            solver_calls: 0,
+            rejected_targets: 0,
+            branch_sites: self.program.branch_count,
+            elapsed: std::time::Duration::ZERO,
+        }
+    }
+
+    fn random_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
+        let (lo, hi) = self.config.random_range;
+        (0..self.program.input_width())
+            .map(|_| rng.gen_range(lo..=hi))
+            .collect()
+    }
+
+    fn initial_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
+        self.config
+            .initial_inputs
+            .clone()
+            .unwrap_or_else(|| self.random_inputs(rng))
+    }
+
+    /// Blackbox random testing baseline.
+    fn random_campaign(&self) -> Report {
+        let mut report = self.fresh_report(Technique::Random);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        for i in 0..self.config.max_runs {
+            let inputs = if i == 0 {
+                self.initial_inputs(&mut rng)
+            } else {
+                self.random_inputs(&mut rng)
+            };
+            let (outcome, trace) = hotg_lang::run(
+                self.program,
+                self.natives,
+                &InputVector::new(inputs.clone()),
+                self.config.fuel,
+            );
+            let record = RunRecord {
+                inputs,
+                outcome: outcome.clone(),
+                origin: if i == 0 {
+                    Origin::Initial
+                } else {
+                    Origin::Random
+                },
+                diverged: None,
+                path: trace.branches.clone(),
+            };
+            self.account(&mut report, record);
+        }
+        report
+    }
+
+    /// Records a run into the report (coverage, errors).
+    fn account(&self, report: &mut Report, record: RunRecord) {
+        for &(id, dir) in &record.path {
+            report.coverage.insert((id, dir));
+        }
+        if let hotg_lang::Outcome::Error(code) = record.outcome {
+            let idx = report.runs.len();
+            report.errors.entry(code).or_insert(idx);
+        }
+        if record.diverged == Some(true) {
+            report.divergences += 1;
+        }
+        if matches!(record.origin, Origin::Probe { .. }) {
+            report.probes += 1;
+        }
+        report.runs.push(record);
+    }
+
+    /// Executes one concolic run, accounts it, and enqueues its targets.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_and_expand(
+        &self,
+        inputs: Vec<i64>,
+        origin: Origin,
+        expected: Option<&[(BranchId, bool)]>,
+        mode: SymbolicMode,
+        summarize: bool,
+        report: &mut Report,
+        worklist: &mut VecDeque<Target>,
+        samples_acc: &mut Samples,
+    ) -> ConcolicRun {
+        let run = execute_opts(
+            &self.ctx,
+            self.program,
+            self.natives,
+            &InputVector::new(inputs.clone()),
+            mode,
+            self.config.fuel,
+            summarize,
+        );
+        samples_acc.merge(&run.samples);
+        let div = expected.map(|e| diverged(e, &run.trace.branches));
+        let record = RunRecord {
+            inputs: inputs.clone(),
+            outcome: run.outcome.clone(),
+            origin,
+            diverged: div,
+            path: run.trace.branches.clone(),
+        };
+        self.account(report, record);
+        for j in run.pc.branch_indices() {
+            // A constraint that folded to `true` has no input dependence:
+            // its negation is trivially infeasible, so it is not a target.
+            if run.pc.entries[j].constraint == Formula::True {
+                continue;
+            }
+            worklist.push_back(Target {
+                parent_inputs: inputs.clone(),
+                pc: run.pc.clone(),
+                j,
+                parent_samples: run.samples.clone(),
+            });
+        }
+        run
+    }
+
+    /// Merges solved/strategy values over the parent inputs: DART
+    /// generates "variants of the previous inputs" (§1), so inputs the
+    /// solver left unconstrained keep their old values.
+    fn merge_inputs(&self, parent: &[i64], values: &BTreeMap<hotg_logic::Var, i64>) -> Vec<i64> {
+        let mut out = parent.to_vec();
+        for (i, v) in self.ctx.input_vars().iter().enumerate() {
+            if let Some(val) = values.get(v) {
+                out[i] = *val;
+            }
+        }
+        out
+    }
+
+    /// The directed search shared by the whitebox techniques.
+    fn directed(&self, technique: Technique, mode: SymbolicMode) -> Report {
+        let summarize = technique == Technique::HigherOrderCompositional;
+        let summaries = if summarize && !self.program.functions.is_empty() {
+            Some(SummaryTable::compute(
+                self.program,
+                self.natives,
+                &SummaryConfig::default(),
+            ))
+        } else {
+            None
+        };
+        let mut report = self.fresh_report(technique);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut worklist: VecDeque<Target> = VecDeque::new();
+        let mut seen: HashSet<Vec<(BranchId, bool)>> = HashSet::new();
+        let mut samples_acc = Samples::new();
+        let smt = SmtSolver::with_config(self.config.validity.smt);
+        let validity = ValidityChecker::with_config(self.config.validity);
+
+        let initial = self.initial_inputs(&mut rng);
+        self.execute_and_expand(
+            initial,
+            Origin::Initial,
+            None,
+            mode,
+            summarize,
+            &mut report,
+            &mut worklist,
+            &mut samples_acc,
+        );
+        for seed_inputs in &self.config.seed_corpus {
+            self.execute_and_expand(
+                seed_inputs.clone(),
+                Origin::Seed,
+                None,
+                mode,
+                summarize,
+                &mut report,
+                &mut worklist,
+                &mut samples_acc,
+            );
+        }
+
+        while let Some(target) = worklist.pop_front() {
+            if report.runs.len() >= self.config.max_runs {
+                break;
+            }
+            let Some(expected) = target.pc.expected_path(target.j) else {
+                continue;
+            };
+            if !seen.insert(expected.clone()) {
+                continue;
+            }
+            let Some(alt) = target.pc.alt(target.j) else {
+                continue;
+            };
+            let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
+
+            match technique {
+                Technique::DartUnsound | Technique::DartSound | Technique::DartSoundDelayed => {
+                    report.solver_calls += 1;
+                    match smt.check(&alt) {
+                        Ok(SmtResult::Sat(model)) => {
+                            let mut values = BTreeMap::new();
+                            for v in alt.vars() {
+                                if let Some(Value::Int(x)) = model.var(v) {
+                                    values.insert(v, x);
+                                }
+                            }
+                            let inputs = self.merge_inputs(&target.parent_inputs, &values);
+                            self.execute_and_expand(
+                                inputs,
+                                Origin::Solved { target: id },
+                                Some(&expected),
+                                mode,
+                                summarize,
+                                &mut report,
+                                &mut worklist,
+                                &mut samples_acc,
+                            );
+                        }
+                        Ok(SmtResult::Unsat) | Ok(SmtResult::Unknown) | Err(_) => {
+                            report.rejected_targets += 1;
+                        }
+                    }
+                }
+                Technique::HigherOrder | Technique::HigherOrderCompositional => {
+                    self.higher_order_target(
+                        &validity,
+                        &target,
+                        &alt,
+                        id,
+                        &expected,
+                        summaries.as_ref(),
+                        &mut report,
+                        &mut worklist,
+                        &mut samples_acc,
+                    );
+                }
+                Technique::Random => unreachable!("random is not a directed search"),
+            }
+        }
+        report
+    }
+
+    /// Processes one target with higher-order test generation, including
+    /// multi-step probing.
+    #[allow(clippy::too_many_arguments)]
+    fn higher_order_target(
+        &self,
+        validity: &ValidityChecker,
+        target: &Target,
+        alt: &Formula,
+        id: BranchId,
+        expected: &[(BranchId, bool)],
+        summaries: Option<&SummaryTable>,
+        report: &mut Report,
+        worklist: &mut VecDeque<Target>,
+        samples_acc: &mut Samples,
+    ) {
+        let summarize = summaries.is_some();
+        let extra = summaries
+            .map(|t| t.antecedent_for(alt))
+            .unwrap_or(Formula::True);
+        let mut probes_left = self.config.max_probes_per_target;
+        loop {
+            if report.runs.len() >= self.config.max_runs {
+                return;
+            }
+            let samples = if self.config.cross_run_samples {
+                samples_acc.clone()
+            } else {
+                target.parent_samples.clone()
+            };
+            report.solver_calls += 1;
+            let outcome = match validity.check_with(self.ctx.input_vars(), &samples, &extra, alt) {
+                Ok(o) => o,
+                Err(_) => {
+                    report.rejected_targets += 1;
+                    return;
+                }
+            };
+            match outcome {
+                ValidityOutcome::Valid(strategy) => {
+                    self.run_strategy(
+                        &strategy,
+                        target,
+                        id,
+                        expected,
+                        summarize,
+                        &mut probes_left,
+                        report,
+                        worklist,
+                        samples_acc,
+                    );
+                    return;
+                }
+                ValidityOutcome::NeedMoreSamples { probe, missing: _ } => {
+                    if probes_left == 0 {
+                        report.rejected_targets += 1;
+                        return;
+                    }
+                    probes_left -= 1;
+                    let inputs = self.merge_inputs(&target.parent_inputs, &probe);
+                    self.execute_and_expand(
+                        inputs,
+                        Origin::Probe { target: id },
+                        None,
+                        SymbolicMode::Uninterpreted,
+                        summarize,
+                        report,
+                        worklist,
+                        samples_acc,
+                    );
+                    // Retry validity with the enriched sample table.
+                }
+                ValidityOutcome::Invalid { .. } | ValidityOutcome::Unknown => {
+                    report.rejected_targets += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Interprets a validity strategy, probing for missing samples.
+    #[allow(clippy::too_many_arguments)]
+    fn run_strategy(
+        &self,
+        strategy: &Strategy,
+        target: &Target,
+        id: BranchId,
+        expected: &[(BranchId, bool)],
+        summarize: bool,
+        probes_left: &mut usize,
+        report: &mut Report,
+        worklist: &mut VecDeque<Target>,
+        samples_acc: &mut Samples,
+    ) {
+        loop {
+            if report.runs.len() >= self.config.max_runs {
+                return;
+            }
+            let samples = if self.config.cross_run_samples {
+                samples_acc.clone()
+            } else {
+                target.parent_samples.clone()
+            };
+            match strategy.interpret(&samples) {
+                Interpretation::Concrete(values) => {
+                    let inputs = self.merge_inputs(&target.parent_inputs, &values);
+                    let rendered = strategy.display(self.ctx.sig()).to_string();
+                    self.execute_and_expand(
+                        inputs,
+                        Origin::Strategy {
+                            target: id,
+                            strategy: rendered,
+                        },
+                        Some(expected),
+                        SymbolicMode::Uninterpreted,
+                        summarize,
+                        report,
+                        worklist,
+                        samples_acc,
+                    );
+                    return;
+                }
+                Interpretation::NeedSamples(missing) => {
+                    if *probes_left == 0 {
+                        report.rejected_targets += 1;
+                        return;
+                    }
+                    *probes_left -= 1;
+                    // Intermediate test: parent inputs with the concrete
+                    // part of the strategy applied (paper: probe
+                    // (x = 567, y = 10) to learn h(10)).
+                    let partial = strategy.interpret_partial(&samples);
+                    let inputs = self.merge_inputs(&target.parent_inputs, &partial);
+                    let run = self.execute_and_expand(
+                        inputs,
+                        Origin::Probe { target: id },
+                        None,
+                        SymbolicMode::Uninterpreted,
+                        summarize,
+                        report,
+                        worklist,
+                        samples_acc,
+                    );
+                    // If the probe did not record any of the missing
+                    // samples, the program never evaluates those
+                    // applications on this prefix: give up.
+                    let learned = missing
+                        .iter()
+                        .any(|(f, args)| run.samples.lookup(*f, args).is_some());
+                    if !learned && !self.config.cross_run_samples {
+                        report.rejected_targets += 1;
+                        return;
+                    }
+                    let now_known = missing
+                        .iter()
+                        .all(|(f, args)| samples_acc.lookup(*f, args).is_some());
+                    if !now_known && *probes_left == 0 {
+                        report.rejected_targets += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Search reports: what a test-generation campaign executed, covered,
+//! and found.
+
+use crate::config::Technique;
+use hotg_lang::{BranchId, Outcome};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a test input was executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// The campaign's first input.
+    Initial,
+    /// A seed-corpus execution (well-formed inputs provided up front).
+    Seed,
+    /// Random baseline input.
+    Random,
+    /// Satisfying assignment of an alternate path constraint (DART).
+    Solved {
+        /// Branch site being flipped.
+        target: BranchId,
+    },
+    /// Interpreted strategy from a validity proof (higher-order).
+    Strategy {
+        /// Branch site being flipped.
+        target: BranchId,
+        /// Rendered strategy (human-readable).
+        strategy: String,
+    },
+    /// Intermediate probe run to collect missing samples (multi-step).
+    Probe {
+        /// Branch site the pending strategy is for.
+        target: BranchId,
+    },
+}
+
+/// Record of one program execution.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Flat input values.
+    pub inputs: Vec<i64>,
+    /// Execution outcome.
+    pub outcome: Outcome,
+    /// Why this input was executed.
+    pub origin: Origin,
+    /// For generated tests with an expected path: did the run diverge?
+    pub diverged: Option<bool>,
+    /// Branch directions taken.
+    pub path: Vec<(BranchId, bool)>,
+}
+
+/// Summary of one campaign.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Technique used.
+    pub technique: Technique,
+    /// Program name.
+    pub program: String,
+    /// Every execution, in order.
+    pub runs: Vec<RunRecord>,
+    /// First run index that triggered each error code.
+    pub errors: BTreeMap<i64, usize>,
+    /// Covered `(site, direction)` pairs.
+    pub coverage: BTreeSet<(BranchId, bool)>,
+    /// Number of diverging generated tests (§3.2).
+    pub divergences: usize,
+    /// Number of probe executions (multi-step, §5.3).
+    pub probes: usize,
+    /// Number of solver/validity queries issued.
+    pub solver_calls: usize,
+    /// Search targets proved infeasible/invalid (no test generated).
+    pub rejected_targets: usize,
+    /// Total branch sites of the program (for coverage ratios).
+    pub branch_sites: u32,
+    /// Wall-clock duration of the campaign.
+    pub elapsed: std::time::Duration,
+}
+
+impl Report {
+    /// Number of executions (tests + probes).
+    pub fn total_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` if the error code was triggered.
+    pub fn found_error(&self, code: i64) -> bool {
+        self.errors.contains_key(&code)
+    }
+
+    /// Run index of the first hit of `code`.
+    pub fn first_hit(&self, code: i64) -> Option<usize> {
+        self.errors.get(&code).copied()
+    }
+
+    /// Number of covered `(site, direction)` pairs.
+    pub fn covered_directions(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Coverage ratio over all `2 × branch_sites` directions.
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.branch_sites == 0 {
+            return 1.0;
+        }
+        self.coverage.len() as f64 / (2.0 * self.branch_sites as f64)
+    }
+
+    /// Cumulative coverage after each run: element `i` is the number of
+    /// distinct `(site, direction)` pairs covered by runs `0..=i`. The
+    /// series behind coverage-over-iterations figures.
+    pub fn coverage_curve(&self) -> Vec<usize> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.runs.len());
+        for r in &self.runs {
+            for &(id, dir) in &r.path {
+                seen.insert((id, dir));
+            }
+            out.push(seen.len());
+        }
+        out
+    }
+
+    /// Cumulative distinct error codes after each run.
+    pub fn error_curve(&self) -> Vec<usize> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::with_capacity(self.runs.len());
+        for r in &self.runs {
+            if let Outcome::Error(code) = r.outcome {
+                seen.insert(code);
+            }
+            out.push(seen.len());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} runs ({} probes), {}/{} directions covered, \
+             errors {:?}, {} divergences, {} rejected targets, {} solver calls",
+            self.technique,
+            self.program,
+            self.total_runs(),
+            self.probes,
+            self.covered_directions(),
+            2 * self.branch_sites,
+            self.errors.keys().collect::<Vec<_>>(),
+            self.divergences,
+            self.rejected_targets,
+            self.solver_calls,
+        )
+    }
+}
+
+/// Renders a fixed-width comparison table of several reports (one row per
+/// technique), as printed by the experiment binaries.
+pub fn comparison_table(reports: &[Report]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>5} {:>7} {:>9} {:>7} {:>9} {:>8} {:>9}  {}\n",
+        "technique", "runs", "probes", "coverage", "diverg", "rejected", "solver", "time", "errors"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<18} {:>5} {:>7} {:>6}/{:<2} {:>7} {:>9} {:>8} {:>7}ms  {:?}\n",
+            r.technique.label(),
+            r.total_runs(),
+            r.probes,
+            r.covered_directions(),
+            2 * r.branch_sites,
+            r.divergences,
+            r.rejected_targets,
+            r.solver_calls,
+            r.elapsed.as_millis(),
+            r.errors.keys().collect::<Vec<_>>(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> Report {
+        Report {
+            technique: Technique::HigherOrder,
+            program: "t".into(),
+            runs: vec![RunRecord {
+                inputs: vec![1],
+                outcome: Outcome::Error(1),
+                origin: Origin::Initial,
+                diverged: None,
+                path: vec![(BranchId(0), true)],
+            }],
+            errors: BTreeMap::from([(1i64, 0usize)]),
+            coverage: BTreeSet::from([(BranchId(0), true)]),
+            divergences: 0,
+            probes: 0,
+            solver_calls: 2,
+            rejected_targets: 1,
+            branch_sites: 1,
+            elapsed: std::time::Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = dummy();
+        assert_eq!(r.total_runs(), 1);
+        assert!(r.found_error(1));
+        assert!(!r.found_error(2));
+        assert_eq!(r.first_hit(1), Some(0));
+        assert_eq!(r.covered_directions(), 1);
+        assert!((r.coverage_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_and_table() {
+        let r = dummy();
+        let s = r.to_string();
+        assert!(s.contains("higher-order"));
+        let t = comparison_table(&[r]);
+        assert!(t.contains("technique"));
+        assert!(t.contains("higher-order"));
+    }
+
+    #[test]
+    fn curves_are_monotone() {
+        let mut r = dummy();
+        r.runs.push(RunRecord {
+            inputs: vec![2],
+            outcome: Outcome::Returned,
+            origin: Origin::Random,
+            diverged: None,
+            path: vec![(BranchId(0), false)],
+        });
+        assert_eq!(r.coverage_curve(), vec![1, 2]);
+        assert_eq!(r.error_curve(), vec![1, 1]);
+    }
+
+    #[test]
+    fn zero_sites_ratio() {
+        let mut r = dummy();
+        r.branch_sites = 0;
+        assert_eq!(r.coverage_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Abstract syntax of the `mini` language.
+//!
+//! `mini` is the command language of the paper's Section 2 — assignments,
+//! conditionals, and `stop` (here: `return` for normal termination and
+//! `error(code)` for the paper's "error" stops) — extended with `while`
+//! loops, fixed-length integer arrays, boolean operators in conditions,
+//! and calls to *native* functions. Native functions execute real Rust
+//! code at run time but are opaque to symbolic execution: they are the
+//! paper's "unknown functions" (`hash`, OS calls, …).
+
+use std::fmt;
+
+/// Unique id of a conditional site (`if` or `while` condition), assigned
+/// by the parser in source order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BranchId(pub u32);
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime error)
+    Div,
+    /// `%` (remainder; zero divisor is a runtime error)
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// `true` for comparison operators producing booleans from ints.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for the boolean connectives.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// `true` for integer arithmetic.
+    pub fn is_arith(self) -> bool {
+        !self.is_comparison() && !self.is_logical()
+    }
+
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference (input or local, scalar).
+    Var(String),
+    /// Array element read `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Native (unknown) function call.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// `true` if the expression contains a native call.
+    pub fn has_call(&self) -> bool {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => false,
+            Expr::Index(_, i) => i.has_call(),
+            Expr::Unary(_, e) => e.has_call(),
+            Expr::Binary(_, a, b) => a.has_call() || b.has_call(),
+            Expr::Call(..) => true,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration `let name = expr;` (scalar) .
+    Let(String, Expr),
+    /// Local array declaration `let name[len];` (zero-initialized).
+    LetArray(String, usize),
+    /// Assignment `name = expr;`.
+    Assign(String, Expr),
+    /// Array element write `name[index] = expr;`.
+    AssignIndex(String, Expr, Expr),
+    /// Conditional with a branch id.
+    If {
+        /// Site id.
+        id: BranchId,
+        /// Condition (boolean).
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// Loop with a branch id (the loop test is a conditional site).
+    While {
+        /// Site id.
+        id: BranchId,
+        /// Condition (boolean).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Error stop `error(code);` — the paper's `return -1; // error`.
+    Error(i64),
+    /// Normal stop.
+    Return,
+    /// Value return (function bodies, and programs that produce a value).
+    ReturnValue(Expr),
+}
+
+/// An input parameter declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Param {
+    /// Scalar integer input.
+    Scalar(String),
+    /// Integer array input of fixed length; each element is one symbolic
+    /// input.
+    Array(String, usize),
+}
+
+impl Param {
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Scalar(n) | Param::Array(n, _) => n,
+        }
+    }
+}
+
+/// A user-defined function: `fn name(a: int, b: int) { … return e; }`.
+///
+/// Defined functions take scalar arguments by value, return one integer,
+/// and may call natives and other defined functions (no recursion — the
+/// checker enforces an acyclic call graph). They are the unit of
+/// *summarization* in higher-order compositional test generation (§8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Scalar parameter names.
+    pub params: Vec<String>,
+    /// Body; must terminate via `return expr;`.
+    pub body: Vec<Stmt>,
+}
+
+/// A native ("unknown") function declaration: `native name/arity;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NativeDecl {
+    /// Function name.
+    pub name: String,
+    /// Number of integer arguments.
+    pub arity: usize,
+}
+
+/// A complete `mini` program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Input parameters in order.
+    pub params: Vec<Param>,
+    /// Declared native functions.
+    pub natives: Vec<NativeDecl>,
+    /// User-defined functions, in declaration order.
+    pub functions: Vec<FuncDef>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Number of conditional sites (branch ids are `0..branch_count`).
+    pub branch_count: u32,
+}
+
+impl Program {
+    /// Total number of scalar symbolic inputs (array elements count
+    /// individually).
+    pub fn input_width(&self) -> usize {
+        self.params
+            .iter()
+            .map(|p| match p {
+                Param::Scalar(_) => 1,
+                Param::Array(_, n) => *n,
+            })
+            .sum()
+    }
+
+    /// Looks up a native declaration by name.
+    pub fn native(&self, name: &str) -> Option<&NativeDecl> {
+        self.natives.iter().find(|n| n.name == name)
+    }
+
+    /// Looks up a defined function by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// All error codes that appear in the program, in source order.
+    pub fn error_codes(&self) -> Vec<i64> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<i64>) {
+            for s in stmts {
+                match s {
+                    Stmt::Error(c) => {
+                        if !out.contains(c) {
+                            out.push(*c);
+                        }
+                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
+                        walk(then_branch, out);
+                        walk(else_branch, out);
+                    }
+                    Stmt::While { body, .. } => walk(body, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for f in &self.functions {
+            walk(&f.body, &mut out);
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Add.is_arith());
+        assert!(!BinOp::Add.is_comparison());
+        assert_eq!(BinOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn expr_has_call() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Call("hash".into(), vec![Expr::Int(1)])),
+        );
+        assert!(e.has_call());
+        assert!(!Expr::Var("x".into()).has_call());
+        assert!(!Expr::Index("a".into(), Box::new(Expr::Int(0))).has_call());
+    }
+
+    #[test]
+    fn program_metrics() {
+        let p = Program {
+            name: "t".into(),
+            params: vec![Param::Scalar("x".into()), Param::Array("buf".into(), 4)],
+            natives: vec![NativeDecl {
+                name: "hash".into(),
+                arity: 1,
+            }],
+            functions: Vec::new(),
+            body: vec![
+                Stmt::If {
+                    id: BranchId(0),
+                    cond: Expr::Var("x".into()),
+                    then_branch: vec![Stmt::Error(1)],
+                    else_branch: vec![Stmt::Error(2)],
+                },
+                Stmt::Error(1),
+            ],
+            branch_count: 1,
+        };
+        assert_eq!(p.input_width(), 5);
+        assert!(p.native("hash").is_some());
+        assert!(p.native("nope").is_none());
+        assert_eq!(p.error_codes(), vec![1, 2]);
+        assert_eq!(p.params[1].name(), "buf");
+    }
+}

@@ -1,0 +1,433 @@
+//! Static checking for `mini` programs: scoping, kinds (scalar vs array),
+//! boolean/integer contexts, and native call arities.
+
+use crate::ast::{Expr, Param, Program, Stmt, UnOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by the static checker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "check error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Scalar,
+    Array(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Ty {
+    Int,
+    Bool,
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    scopes: Vec<HashMap<String, Kind>>,
+    /// Inside a function body: value returns required, plain `return`
+    /// forbidden; calls may only reach earlier-declared functions.
+    in_function: Option<usize>,
+}
+
+/// Statically checks a program.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on: use of undeclared variables or natives,
+/// duplicate declarations in one scope, scalar/array kind mismatches,
+/// boolean expressions in integer context (and vice versa), and native
+/// call arity mismatches.
+///
+/// # Examples
+///
+/// ```
+/// let p = hotg_lang::parse(
+///     "program t(x: int) { if (x == 0) { error(1); } return; }",
+/// ).unwrap();
+/// hotg_lang::check(&p).unwrap();
+/// ```
+pub fn check(program: &Program) -> Result<(), CheckError> {
+    let mut checker = Checker {
+        program,
+        scopes: vec![HashMap::new()],
+        in_function: None,
+    };
+    // Parameters form the outermost scope.
+    for p in &program.params {
+        let (name, kind) = match p {
+            Param::Scalar(n) => (n.clone(), Kind::Scalar),
+            Param::Array(n, len) => (n.clone(), Kind::Array(*len)),
+        };
+        if checker.scopes[0].insert(name.clone(), kind).is_some() {
+            return Err(CheckError {
+                message: format!("duplicate parameter `{name}`"),
+            });
+        }
+    }
+    // Native and function names must be unique and disjoint.
+    let mut callable_names = std::collections::HashSet::new();
+    for n in &program.natives {
+        if !callable_names.insert(n.name.clone()) {
+            return Err(CheckError {
+                message: format!("duplicate native declaration `{}`", n.name),
+            });
+        }
+    }
+    for f in &program.functions {
+        if !callable_names.insert(f.name.clone()) {
+            return Err(CheckError {
+                message: format!("duplicate callable name `{}`", f.name),
+            });
+        }
+    }
+    // Function bodies: own scopes, declaration-order calls only (this
+    // rules out recursion syntactically).
+    for (idx, f) in program.functions.iter().enumerate() {
+        let mut fscope = HashMap::new();
+        for p in &f.params {
+            if fscope.insert(p.clone(), Kind::Scalar).is_some() {
+                return Err(CheckError {
+                    message: format!("duplicate parameter `{p}` in fn `{}`", f.name),
+                });
+            }
+        }
+        let mut fchecker = Checker {
+            program,
+            scopes: vec![fscope],
+            in_function: Some(idx),
+        };
+        fchecker.stmts(&f.body)?;
+    }
+    checker.stmts(&program.body)?;
+    Ok(())
+}
+
+impl Checker<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, CheckError> {
+        Err(CheckError {
+            message: message.into(),
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Option<Kind> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, kind: Kind) -> Result<(), CheckError> {
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.insert(name.to_string(), kind).is_some() {
+            return self.err(format!("duplicate declaration of `{name}` in this scope"));
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CheckError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, body: &[Stmt]) -> Result<(), CheckError> {
+        self.scopes.push(HashMap::new());
+        let r = self.stmts(body);
+        self.scopes.pop();
+        r
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CheckError> {
+        match s {
+            Stmt::Let(name, e) => {
+                self.expect_ty(e, Ty::Int)?;
+                self.declare(name, Kind::Scalar)
+            }
+            Stmt::LetArray(name, len) => self.declare(name, Kind::Array(*len)),
+            Stmt::Assign(name, e) => {
+                match self.lookup(name) {
+                    Some(Kind::Scalar) => {}
+                    Some(Kind::Array(_)) => {
+                        return self.err(format!("cannot assign whole array `{name}`"))
+                    }
+                    None => return self.err(format!("assignment to undeclared `{name}`")),
+                }
+                self.expect_ty(e, Ty::Int)
+            }
+            Stmt::AssignIndex(name, idx, val) => {
+                match self.lookup(name) {
+                    Some(Kind::Array(_)) => {}
+                    Some(Kind::Scalar) => return self.err(format!("cannot index scalar `{name}`")),
+                    None => return self.err(format!("assignment to undeclared `{name}`")),
+                }
+                self.expect_ty(idx, Ty::Int)?;
+                self.expect_ty(val, Ty::Int)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.expect_ty(cond, Ty::Bool)?;
+                self.block(then_branch)?;
+                self.block(else_branch)
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expect_ty(cond, Ty::Bool)?;
+                self.block(body)
+            }
+            Stmt::Error(_) => Ok(()),
+            Stmt::Return => {
+                if self.in_function.is_some() {
+                    return self.err("functions must return a value (`return expr;`)");
+                }
+                Ok(())
+            }
+            Stmt::ReturnValue(e) => {
+                if self.in_function.is_none() {
+                    return self.err("the program body cannot return a value");
+                }
+                self.expect_ty(e, Ty::Int)
+            }
+        }
+    }
+
+    fn expect_ty(&self, e: &Expr, want: Ty) -> Result<(), CheckError> {
+        let got = self.ty(e)?;
+        if got != want {
+            return self.err(format!(
+                "expected {want:?} expression, found {got:?}: {e:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn ty(&self, e: &Expr) -> Result<Ty, CheckError> {
+        Ok(match e {
+            Expr::Int(_) => Ty::Int,
+            Expr::Var(name) => match self.lookup(name) {
+                Some(Kind::Scalar) => Ty::Int,
+                Some(Kind::Array(_)) => return self.err(format!("array `{name}` used as scalar")),
+                None => return self.err(format!("use of undeclared variable `{name}`")),
+            },
+            Expr::Index(name, idx) => {
+                match self.lookup(name) {
+                    Some(Kind::Array(_)) => {}
+                    Some(Kind::Scalar) => return self.err(format!("cannot index scalar `{name}`")),
+                    None => return self.err(format!("use of undeclared array `{name}`")),
+                }
+                self.expect_ty(idx, Ty::Int)?;
+                Ty::Int
+            }
+            Expr::Unary(UnOp::Neg, e) => {
+                self.expect_ty(e, Ty::Int)?;
+                Ty::Int
+            }
+            Expr::Unary(UnOp::Not, e) => {
+                self.expect_ty(e, Ty::Bool)?;
+                Ty::Bool
+            }
+            Expr::Binary(op, a, b) => {
+                if op.is_arith() {
+                    self.expect_ty(a, Ty::Int)?;
+                    self.expect_ty(b, Ty::Int)?;
+                    Ty::Int
+                } else if op.is_comparison() {
+                    self.expect_ty(a, Ty::Int)?;
+                    self.expect_ty(b, Ty::Int)?;
+                    Ty::Bool
+                } else {
+                    self.expect_ty(a, Ty::Bool)?;
+                    self.expect_ty(b, Ty::Bool)?;
+                    Ty::Bool
+                }
+            }
+            Expr::Call(name, args) => {
+                let arity = if let Some(decl) = self.program.native(name) {
+                    decl.arity
+                } else if let Some(pos) =
+                    self.program.functions.iter().position(|f| f.name == *name)
+                {
+                    // Declaration-order calls only: rules out recursion.
+                    if let Some(current) = self.in_function {
+                        if pos >= current {
+                            return self.err(format!(
+                                "fn `{name}` must be declared before its caller                                  (recursion is not supported)"
+                            ));
+                        }
+                    }
+                    self.program.functions[pos].params.len()
+                } else {
+                    return self.err(format!("call to undeclared callable `{name}`"));
+                };
+                if arity != args.len() {
+                    return self.err(format!(
+                        "callable `{name}` expects {arity} arguments, got {}",
+                        args.len()
+                    ));
+                }
+                for a in args {
+                    self.expect_ty(a, Ty::Int)?;
+                }
+                Ty::Int
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), CheckError> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        check_src(
+            r#"
+            native hash/1;
+            program foo(x: int, y: int) {
+                if (x == hash(y)) {
+                    if (y == 10) { error(1); }
+                }
+                return;
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check_src("program t() { x = 1; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+        let e = check_src("program t() { let a = z; }").unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_undeclared_native() {
+        let e = check_src("program t(x: int) { let a = hash(x); }").unwrap_err();
+        assert!(e.message.contains("undeclared callable"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let e = check_src("native hash/2; program t(x: int) { let a = hash(x); }").unwrap_err();
+        assert!(e.message.contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn rejects_bool_in_int_context() {
+        let e = check_src("program t(x: int) { let a = (x == 1) + 2; }").unwrap_err();
+        assert!(e.message.contains("expected Int"));
+    }
+
+    #[test]
+    fn rejects_int_condition() {
+        let e = check_src("program t(x: int) { if (x) { } }").unwrap_err();
+        assert!(e.message.contains("expected Bool"));
+    }
+
+    #[test]
+    fn rejects_array_misuse() {
+        assert!(check_src("program t(a: array[3]) { let b = a; }").is_err());
+        assert!(check_src("program t(a: array[3]) { a = 1; }").is_err());
+        assert!(check_src("program t(x: int) { let b = x[0]; }").is_err());
+        assert!(check_src("program t(x: int) { x[0] = 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(check_src("program t(x: int, x: int) { }").is_err());
+        assert!(check_src("program t() { let a = 1; let a = 2; }").is_err());
+        assert!(check_src("native f/1; native f/2; program t() { }").is_err());
+    }
+
+    #[test]
+    fn scoping_allows_shadowing_in_inner_block() {
+        check_src(
+            r#"program t(x: int) {
+                if (x == 0) { let a = 1; } else { let a = 2; }
+                let a = 3;
+                return;
+            }"#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn inner_scope_not_visible_outside() {
+        let e = check_src(
+            r#"program t(x: int) {
+                if (x == 0) { let a = 1; }
+                let b = a;
+            }"#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn functions_checked() {
+        check_src(
+            r#"
+            native hash/1;
+            fn helper(v: int) {
+                if (v > 100) { return hash(v) + 1; }
+                return hash(v);
+            }
+            program t(x: int, y: int) {
+                if (x == helper(y)) { error(1); }
+                return;
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn function_errors() {
+        // Plain `return;` inside a function.
+        assert!(check_src("fn f(v: int) { return; } program t() { }").is_err());
+        // Value return in the program body.
+        assert!(check_src("program t(x: int) { return x; }").is_err());
+        // Recursion (self-call).
+        assert!(check_src("fn f(v: int) { return f(v); } program t() { }").is_err());
+        // Forward call (mutual recursion shape).
+        assert!(check_src(
+            "fn a(v: int) { return b(v); } fn b(v: int) { return 1; } program t() { }"
+        )
+        .is_err());
+        // Name clash with a native.
+        assert!(check_src("native f/1; fn f(v: int) { return 1; } program t() { }").is_err());
+        // Arity mismatch on defined call.
+        assert!(
+            check_src("fn f(v: int) { return v; } program t(x: int) { let a = f(x, x); }").is_err()
+        );
+        // Declaration-order call is fine.
+        check_src(
+            "fn a(v: int) { return v + 1; } fn b(v: int) { return a(v) * 2; } program t() { }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn not_requires_bool() {
+        assert!(check_src("program t(x: int) { if (!x) { } }").is_err());
+        check_src("program t(x: int) { if (!(x == 1)) { } }").unwrap();
+    }
+}

@@ -1,0 +1,668 @@
+//! Recursive-descent parser for the `mini` language.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! file      := native* fndef* program
+//! native    := "native" IDENT "/" INT ";"
+//! fndef     := "fn" IDENT "(" fnparams? ")" block
+//! fnparams  := IDENT ":" "int" ("," IDENT ":" "int")*
+//! program   := "program" IDENT "(" params? ")" block
+//! params    := param ("," param)*
+//! param     := IDENT ":" "int" | IDENT ":" "array" "[" INT "]"
+//! block     := "{" stmt* "}"
+//! stmt      := "let" IDENT "=" expr ";"
+//!            | "let" IDENT "[" INT "]" ";"
+//!            | IDENT "=" expr ";"
+//!            | IDENT "[" expr "]" "=" expr ";"
+//!            | "if" "(" expr ")" block ("else" (block | if-stmt))?
+//!            | "while" "(" expr ")" block
+//!            | "error" "(" INT ")" ";"
+//!            | "return" ";"
+//!            | "return" expr ";"
+//! expr      := or
+//! or        := and ("||" and)*
+//! and       := cmp ("&&" cmp)*
+//! cmp       := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//! add       := mul (("+"|"-") mul)*
+//! mul       := unary (("*"|"/"|"%") unary)*
+//! unary     := ("-"|"!") unary | atom
+//! atom      := INT | IDENT | IDENT "(" args? ")" | IDENT "[" expr "]"
+//!            | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, BranchId, Expr, NativeDecl, Param, Program, Stmt, UnOp};
+use crate::token::{tokenize, LexError, Spanned, Token};
+use std::fmt;
+
+/// Error produced by the parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    next_branch: u32,
+}
+
+/// Parses a complete `mini` source file.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on lexical or syntactic problems (static
+/// checking is separate, see [`mod@crate::check`]).
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     native hash/1;
+///     program obscure(x: int, y: int) {
+///         if (x == hash(y)) { error(1); }
+///         return;
+///     }
+/// "#;
+/// let program = hotg_lang::parse(src).unwrap();
+/// assert_eq!(program.name, "obscure");
+/// assert_eq!(program.branch_count, 1);
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_branch: 0,
+    };
+    let program = p.file()?;
+    Ok(program)
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.error(format!("expected `{t}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match *self.peek() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            Token::Minus => {
+                self.bump();
+                match *self.peek() {
+                    Token::Int(v) => {
+                        self.bump();
+                        Ok(-v)
+                    }
+                    _ => self.error("expected integer literal after `-`"),
+                }
+            }
+            _ => self.error(format!("expected integer literal, found `{}`", self.peek())),
+        }
+    }
+
+    fn file(&mut self) -> Result<Program, ParseError> {
+        let mut natives = Vec::new();
+        while *self.peek() == Token::Native {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(Token::Slash)?;
+            let arity = self.int()?;
+            if arity < 0 || arity > 32 {
+                return self.error("native arity must be between 0 and 32");
+            }
+            self.expect(Token::Semi)?;
+            natives.push(NativeDecl {
+                name,
+                arity: arity as usize,
+            });
+        }
+        let mut functions = Vec::new();
+        while *self.peek() == Token::Fn {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(Token::LParen)?;
+            let mut params = Vec::new();
+            if *self.peek() != Token::RParen {
+                loop {
+                    let pname = self.ident()?;
+                    self.expect(Token::Colon)?;
+                    self.expect(Token::IntType)?;
+                    params.push(pname);
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RParen)?;
+            let body = self.block()?;
+            functions.push(crate::ast::FuncDef { name, params, body });
+        }
+        self.expect(Token::Program)?;
+        let name = self.ident()?;
+        self.expect(Token::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != Token::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(Token::Colon)?;
+                match self.bump() {
+                    Token::IntType => params.push(Param::Scalar(pname)),
+                    Token::Array => {
+                        self.expect(Token::LBracket)?;
+                        let len = self.int()?;
+                        if len <= 0 || len > 4096 {
+                            return self.error("array length must be between 1 and 4096");
+                        }
+                        self.expect(Token::RBracket)?;
+                        params.push(Param::Array(pname, len as usize));
+                    }
+                    other => {
+                        return self.error(format!(
+                            "expected parameter type `int` or `array`, found `{other}`"
+                        ))
+                    }
+                }
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Token::RParen)?;
+        let body = self.block()?;
+        if *self.peek() != Token::Eof {
+            return self.error(format!("unexpected trailing `{}`", self.peek()));
+        }
+        Ok(Program {
+            name,
+            params,
+            natives,
+            functions,
+            body,
+            branch_count: self.next_branch,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace)?;
+        let mut out = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return self.error("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        self.bump(); // consume `}`
+        Ok(out)
+    }
+
+    fn fresh_branch(&mut self) -> BranchId {
+        let id = BranchId(self.next_branch);
+        self.next_branch += 1;
+        id
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::Let => {
+                self.bump();
+                let name = self.ident()?;
+                if *self.peek() == Token::LBracket {
+                    self.bump();
+                    let len = self.int()?;
+                    if len <= 0 || len > 4096 {
+                        return self.error("array length must be between 1 and 4096");
+                    }
+                    self.expect(Token::RBracket)?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::LetArray(name, len as usize))
+                } else {
+                    self.expect(Token::Assign)?;
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Let(name, e))
+                }
+            }
+            Token::If => self.if_stmt(),
+            Token::While => {
+                self.bump();
+                let id = self.fresh_branch();
+                self.expect(Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { id, cond, body })
+            }
+            Token::Error => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let code = self.int()?;
+                self.expect(Token::RParen)?;
+                self.expect(Token::Semi)?;
+                Ok(Stmt::Error(code))
+            }
+            Token::Return => {
+                self.bump();
+                if *self.peek() == Token::Semi {
+                    self.bump();
+                    Ok(Stmt::Return)
+                } else {
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::ReturnValue(e))
+                }
+            }
+            Token::Ident(name) => {
+                self.bump();
+                if *self.peek() == Token::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Token::RBracket)?;
+                    self.expect(Token::Assign)?;
+                    let val = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::AssignIndex(name, idx, val))
+                } else {
+                    self.expect(Token::Assign)?;
+                    let e = self.expr()?;
+                    self.expect(Token::Semi)?;
+                    Ok(Stmt::Assign(name, e))
+                }
+            }
+            other => self.error(format!("expected statement, found `{other}`")),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Token::If)?;
+        let id = self.fresh_branch();
+        self.expect(Token::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Token::RParen)?;
+        let then_branch = self.block()?;
+        let else_branch = if *self.peek() == Token::Else {
+            self.bump();
+            if *self.peek() == Token::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            id,
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match *self.peek() {
+            Token::EqEq => BinOp::Eq,
+            Token::NotEq => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match *self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match *self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match *self.peek() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                self.bump();
+                match *self.peek() {
+                    Token::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != Token::RParen {
+                            loop {
+                                args.push(self.expr()?);
+                                if *self.peek() == Token::Comma {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Token::RParen)?;
+                        Ok(Expr::Call(name, args))
+                    }
+                    Token::LBracket => {
+                        self.bump();
+                        let idx = self.expr()?;
+                        self.expect(Token::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(idx)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => self.error(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_obscure() {
+        let src = r#"
+            native hash/1;
+            program obscure(x: int, y: int) {
+                if (x == hash(y)) { error(1); }
+                return;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "obscure");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.natives.len(), 1);
+        assert_eq!(p.branch_count, 1);
+        match &p.body[0] {
+            Stmt::If { cond, .. } => match cond {
+                Expr::Binary(BinOp::Eq, lhs, rhs) => {
+                    assert_eq!(**lhs, Expr::Var("x".into()));
+                    assert_eq!(
+                        **rhs,
+                        Expr::Call("hash".into(), vec![Expr::Var("y".into())])
+                    );
+                }
+                other => panic!("unexpected condition {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let src = "program t(x: int) { let a = 1 + 2 * 3 - x; return; }";
+        let p = parse(src).unwrap();
+        // 1 + 2*3 - x  ==  ((1 + (2*3)) - x)
+        match &p.body[0] {
+            Stmt::Let(_, Expr::Binary(BinOp::Sub, l, _)) => match &**l {
+                Expr::Binary(BinOp::Add, _, r) => {
+                    assert!(matches!(&**r, Expr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let src = "program t(x: int, y: int) { if (x == 1 && y == 2 || x == 3) { } return; }";
+        let p = parse(src).unwrap();
+        match &p.body[0] {
+            Stmt::If { cond, .. } => {
+                assert!(matches!(cond, Expr::Binary(BinOp::Or, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = r#"program t(x: int) {
+            if (x == 1) { error(1); }
+            else if (x == 2) { error(2); }
+            else { return; }
+        }"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.branch_count, 2);
+        match &p.body[0] {
+            Stmt::If { else_branch, .. } => {
+                assert!(matches!(else_branch[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_arrays() {
+        let src = r#"program sum(buf: array[4]) {
+            let i = 0;
+            let total = 0;
+            let scratch[2];
+            while (i < 4) {
+                total = total + buf[i];
+                scratch[0] = total;
+                i = i + 1;
+            }
+            if (total > 100) { error(7); }
+            return;
+        }"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.input_width(), 4);
+        assert_eq!(p.branch_count, 2);
+        assert_eq!(p.error_codes(), vec![7]);
+    }
+
+    #[test]
+    fn negative_literals_and_unary() {
+        let src = "program t(x: int) { let a = -5; let b = -x; if (!(x == 0)) { } return; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Let(_, Expr::Unary(UnOp::Neg, _))
+        ));
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Let(_, Expr::Unary(UnOp::Neg, _))
+        ));
+    }
+
+    #[test]
+    fn multi_arg_native() {
+        let src = r#"
+            native hashfunct/3;
+            program t(a: int, b: int, c: int) {
+                if (hashfunct(a, b, c) == 52) { error(1); }
+                return;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.natives[0].arity, 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("program t( { }").is_err());
+        assert!(parse("program t() { let = 1; }").is_err());
+        assert!(parse("program t() { error(); }").is_err());
+        assert!(parse("program t() { x = ; }").is_err());
+        assert!(parse("program t() { if x { } }").is_err());
+        assert!(parse("native f; program t() { }").is_err());
+        assert!(parse("program t() { } trailing").is_err());
+        assert!(parse("program t() { let a[0]; }").is_err());
+        assert!(parse("program t(x: array[0]) { }").is_err());
+    }
+
+    #[test]
+    fn unterminated_block() {
+        let err = parse("program t() { let a = 1;").unwrap_err();
+        assert!(err.message.contains("unterminated") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn branch_ids_in_source_order() {
+        let src = r#"program t(x: int) {
+            if (x == 1) { if (x == 2) { } }
+            while (x < 10) { x = x + 1; }
+            return;
+        }"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.branch_count, 3);
+        match &p.body[0] {
+            Stmt::If {
+                id, then_branch, ..
+            } => {
+                assert_eq!(*id, BranchId(0));
+                match &then_branch[0] {
+                    Stmt::If { id, .. } => assert_eq!(*id, BranchId(1)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &p.body[1] {
+            Stmt::While { id, .. } => assert_eq!(*id, BranchId(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Pretty-printing of `mini` programs back to parseable source text.
+//!
+//! `to_source` is the inverse of [`crate::parse`] up to whitespace: the
+//! round-trip `parse(to_source(p))` yields a structurally identical
+//! program (branch ids are assigned in the same source order).
+
+use crate::ast::{BinOp, Expr, Param, Program, Stmt, UnOp};
+use std::fmt::Write;
+
+/// Renders a program as parseable `mini` source.
+///
+/// # Examples
+///
+/// ```
+/// let (program, _) = hotg_lang::corpus::obscure();
+/// let src = hotg_lang::pretty::to_source(&program);
+/// let reparsed = hotg_lang::parse(&src).unwrap();
+/// assert_eq!(program, reparsed);
+/// ```
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    for n in &p.natives {
+        let _ = writeln!(out, "native {}/{};", n.name, n.arity);
+    }
+    for f in &p.functions {
+        let params: Vec<String> = f.params.iter().map(|p| format!("{p}: int")).collect();
+        let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+        write_block(&mut out, &f.body, 1);
+        out.push_str("}\n");
+    }
+    let params: Vec<String> = p
+        .params
+        .iter()
+        .map(|param| match param {
+            Param::Scalar(n) => format!("{n}: int"),
+            Param::Array(n, len) => format!("{n}: array[{len}]"),
+        })
+        .collect();
+    let _ = writeln!(out, "program {}({}) {{", p.name, params.join(", "));
+    write_block(&mut out, &p.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, body: &[Stmt], depth: usize) {
+    for s in body {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Let(name, e) => {
+            let _ = writeln!(out, "let {name} = {};", expr_to_string(e));
+        }
+        Stmt::LetArray(name, len) => {
+            let _ = writeln!(out, "let {name}[{len}];");
+        }
+        Stmt::Assign(name, e) => {
+            let _ = writeln!(out, "{name} = {};", expr_to_string(e));
+        }
+        Stmt::AssignIndex(name, idx, val) => {
+            let _ = writeln!(
+                out,
+                "{name}[{}] = {};",
+                expr_to_string(idx),
+                expr_to_string(val)
+            );
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", expr_to_string(cond));
+            write_block(out, then_branch, depth + 1);
+            if else_branch.is_empty() {
+                indent(out, depth);
+                out.push_str("}\n");
+            } else {
+                indent(out, depth);
+                out.push_str("} else {\n");
+                write_block(out, else_branch, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", expr_to_string(cond));
+            write_block(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Error(code) => {
+            let _ = writeln!(out, "error({code});");
+        }
+        Stmt::Return => out.push_str("return;\n"),
+        Stmt::ReturnValue(e) => {
+            let _ = writeln!(out, "return {};", expr_to_string(e));
+        }
+    }
+}
+
+/// Renders an expression (fully parenthesized, so precedence is
+/// preserved on re-parse).
+pub fn expr_to_string(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) if *v < 0 => format!("(0 - {})", -(*v as i128)),
+        Expr::Int(v) => v.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index(n, idx) => format!("{n}[{}]", expr_to_string(idx)),
+        Expr::Unary(UnOp::Neg, a) => format!("(-{})", expr_to_string(a)),
+        Expr::Unary(UnOp::Not, a) => format!("(!{})", expr_to_string(a)),
+        Expr::Binary(op, a, b) => format!(
+            "({} {} {})",
+            expr_to_string(a),
+            op_symbol(*op),
+            expr_to_string(b)
+        ),
+        Expr::Call(n, args) => {
+            let parts: Vec<String> = args.iter().map(expr_to_string).collect();
+            format!("{n}({})", parts.join(", "))
+        }
+    }
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    op.symbol()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::parser::parse;
+
+    /// Structural equality modulo literal representation: `-5` may
+    /// round-trip as `(0 - 5)`. Compare by evaluating instead for
+    /// expressions with negative literals; the corpus avoids them, so
+    /// direct equality holds there.
+    #[test]
+    fn corpus_round_trips() {
+        for (name, ctor) in corpus::all() {
+            let (p, _) = ctor();
+            let src = to_source(&p);
+            let reparsed =
+                parse(&src).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{src}"));
+            assert_eq!(p, reparsed, "{name} round-trip mismatch:\n{src}");
+        }
+    }
+
+    #[test]
+    fn lexer_programs_round_trip() {
+        // Exercised from the lang side via source strings directly.
+        let src = r#"
+            native h/2;
+            program t(a: array[3], x: int) {
+                let acc = 0;
+                let tmp[2];
+                while (acc < 10) {
+                    acc = acc + h(a[0], x);
+                    tmp[1] = acc * 2;
+                    if (acc == 7 || !(x <= 0) && acc != 3) {
+                        error(2);
+                    } else {
+                        a[1] = a[2] / 2 % 3;
+                    }
+                }
+                return;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let round = parse(&to_source(&p)).unwrap();
+        assert_eq!(p, round);
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Var("x".into())),
+            Box::new(Expr::Int(1)),
+        );
+        assert_eq!(expr_to_string(&e), "(x + 1)");
+        assert_eq!(expr_to_string(&Expr::Int(-3)), "(0 - 3)");
+        let not = Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::Binary(
+                BinOp::Eq,
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Int(0)),
+            )),
+        );
+        assert_eq!(expr_to_string(&not), "(!(x == 0))");
+    }
+
+    #[test]
+    fn negative_literal_semantics_preserved() {
+        let src = "program t(x: int) { if (x == -5) { error(1); } return; }";
+        let p = parse(src).unwrap();
+        let round = parse(&to_source(&p)).unwrap();
+        // Structure differs ((0 - 5) vs -5) but behaviour is identical.
+        use crate::interp::{run, InputVector, NativeRegistry};
+        let n = NativeRegistry::new();
+        for v in [-5i64, 0, 5] {
+            let (a, _) = run(&p, &n, &InputVector::new(vec![v]), 100);
+            let (b, _) = run(&round, &n, &InputVector::new(vec![v]), 100);
+            assert_eq!(a, b, "v={v}");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Tokens and the lexer for the `mini` language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `program`.
+    Program,
+    /// Keyword `native`.
+    Native,
+    /// Keyword `fn`.
+    Fn,
+    /// Keyword `let`.
+    Let,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Keyword `error`.
+    Error,
+    /// Keyword `return`.
+    Return,
+    /// Keyword `int` (scalar input type).
+    IntType,
+    /// Keyword `array` (array input type).
+    Array,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `=`.
+    Assign,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `!`.
+    Bang,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Program => f.write_str("program"),
+            Token::Native => f.write_str("native"),
+            Token::Fn => f.write_str("fn"),
+            Token::Let => f.write_str("let"),
+            Token::If => f.write_str("if"),
+            Token::Else => f.write_str("else"),
+            Token::While => f.write_str("while"),
+            Token::Error => f.write_str("error"),
+            Token::Return => f.write_str("return"),
+            Token::IntType => f.write_str("int"),
+            Token::Array => f.write_str("array"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Comma => f.write_str(","),
+            Token::Semi => f.write_str(";"),
+            Token::Colon => f.write_str(":"),
+            Token::Assign => f.write_str("="),
+            Token::EqEq => f.write_str("=="),
+            Token::NotEq => f.write_str("!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Bang => f.write_str("!"),
+            Token::AndAnd => f.write_str("&&"),
+            Token::OrOr => f.write_str("||"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token together with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Error produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `mini` source text.
+///
+/// Line comments start with `//`. Integer literals are decimal, optionally
+/// preceded by `-` handled at the parser level (unary minus).
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters, bare `&`/`|`, or integer
+/// literals that overflow `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use hotg_lang::token::{tokenize, Token};
+///
+/// let toks = tokenize("if (x == 42) { error(1); }").unwrap();
+/// assert_eq!(toks[0].token, Token::If);
+/// assert_eq!(toks.last().unwrap().token, Token::Eof);
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<i64>().map_err(|_| LexError {
+                    message: format!("integer literal out of range: {text}"),
+                    line,
+                })?;
+                out.push(Spanned {
+                    token: Token::Int(value),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let token = match text.as_str() {
+                    "program" => Token::Program,
+                    "native" => Token::Native,
+                    "fn" => Token::Fn,
+                    "let" => Token::Let,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "error" => Token::Error,
+                    "return" => Token::Return,
+                    "int" => Token::IntType,
+                    "array" => Token::Array,
+                    _ => Token::Ident(text),
+                };
+                out.push(Spanned { token, line });
+            }
+            _ => {
+                let (token, advance) = match (c, bytes.get(i + 1).copied()) {
+                    ('=', Some('=')) => (Token::EqEq, 2),
+                    ('=', _) => (Token::Assign, 1),
+                    ('!', Some('=')) => (Token::NotEq, 2),
+                    ('!', _) => (Token::Bang, 1),
+                    ('<', Some('=')) => (Token::Le, 2),
+                    ('<', _) => (Token::Lt, 1),
+                    ('>', Some('=')) => (Token::Ge, 2),
+                    ('>', _) => (Token::Gt, 1),
+                    ('&', Some('&')) => (Token::AndAnd, 2),
+                    ('|', Some('|')) => (Token::OrOr, 2),
+                    ('(', _) => (Token::LParen, 1),
+                    (')', _) => (Token::RParen, 1),
+                    ('{', _) => (Token::LBrace, 1),
+                    ('}', _) => (Token::RBrace, 1),
+                    ('[', _) => (Token::LBracket, 1),
+                    (']', _) => (Token::RBracket, 1),
+                    (',', _) => (Token::Comma, 1),
+                    (';', _) => (Token::Semi, 1),
+                    (':', _) => (Token::Colon, 1),
+                    ('+', _) => (Token::Plus, 1),
+                    ('-', _) => (Token::Minus, 1),
+                    ('*', _) => (Token::Star, 1),
+                    ('/', _) => (Token::Slash, 1),
+                    ('%', _) => (Token::Percent, 1),
+                    _ => {
+                        return Err(LexError {
+                            message: format!("unexpected character {c:?}"),
+                            line,
+                        })
+                    }
+                };
+                out.push(Spanned { token, line });
+                i += advance;
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("program native let if else while error return int array foo"),
+            vec![
+                Token::Program,
+                Token::Native,
+                Token::Let,
+                Token::If,
+                Token::Else,
+                Token::While,
+                Token::Error,
+                Token::Return,
+                Token::IntType,
+                Token::Array,
+                Token::Ident("foo".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("== != <= >= < > = + - * / % ! && ||"),
+            vec![
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Assign,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Bang,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("0 42 123456"),
+            vec![
+                Token::Int(0),
+                Token::Int(42),
+                Token::Int(123456),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_overflow_is_error() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("x // comment with if while\ny"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Ident("y".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_tracking() {
+        let ts = tokenize("x\ny\n\nz").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let err = tokenize("x @ y").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn bare_ampersand_is_error() {
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            toks("( ) { } [ ] , ; :"),
+            vec![
+                Token::LParen,
+                Token::RParen,
+                Token::LBrace,
+                Token::RBrace,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Comma,
+                Token::Semi,
+                Token::Colon,
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Campaign harness for the §7 lexer application: runs all four
+//! techniques on the keyword-recognition parsers and reports how deep
+//! into the parser each technique gets.
+
+use crate::programs;
+use hotg_core::{comparison_table, Driver, DriverConfig, Report, Technique};
+use hotg_lang::{NativeRegistry, Program};
+
+/// Which lexer program to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LexerVariant {
+    /// Fixed-width three-token parser (`if then end`).
+    Fixed,
+    /// Flex-style scanning two-token parser (`if end`).
+    Scanning,
+}
+
+impl LexerVariant {
+    /// Program constructor for this variant.
+    pub fn program(self) -> (Program, NativeRegistry) {
+        match self {
+            LexerVariant::Fixed => programs::keyword_parser(),
+            LexerVariant::Scanning => programs::scanning_parser(),
+        }
+    }
+
+    /// The deepest error code (full parse) of this variant.
+    pub fn full_parse_code(self) -> i64 {
+        match self {
+            LexerVariant::Fixed => 3,
+            LexerVariant::Scanning => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LexerVariant::Fixed => "keyword_parser",
+            LexerVariant::Scanning => "scanning_parser",
+        }
+    }
+}
+
+/// Result of one technique's campaign on a lexer variant.
+#[derive(Clone, Debug)]
+pub struct LexerOutcome {
+    /// The underlying search report.
+    pub report: Report,
+    /// Keyword depth reached: the largest error code triggered (each code
+    /// `k` requires recognizing `k` hashed keywords).
+    pub depth: i64,
+    /// Whether the full sentence was parsed.
+    pub full_parse: bool,
+}
+
+/// Default configuration for lexer campaigns: byte-valued random inputs,
+/// all-`'a'` initial buffer.
+pub fn lexer_config(program: &Program, max_runs: usize) -> DriverConfig {
+    DriverConfig {
+        max_runs,
+        random_range: (0, 127),
+        initial_inputs: Some(vec![97; program.input_width()]),
+        ..DriverConfig::default()
+    }
+}
+
+/// Runs one technique on one variant.
+pub fn campaign(variant: LexerVariant, technique: Technique, max_runs: usize) -> LexerOutcome {
+    let (program, natives) = variant.program();
+    let config = lexer_config(&program, max_runs);
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(technique);
+    let depth = report.errors.keys().copied().max().unwrap_or(0);
+    LexerOutcome {
+        full_parse: depth >= variant.full_parse_code(),
+        report,
+        depth,
+    }
+}
+
+/// Runs all four techniques on a variant and renders the §7 comparison
+/// table (one row per technique, plus the keyword depth column).
+pub fn full_comparison(variant: LexerVariant, max_runs: usize) -> (Vec<LexerOutcome>, String) {
+    let outcomes: Vec<LexerOutcome> = Technique::ALL
+        .iter()
+        .map(|&t| campaign(variant, t, max_runs))
+        .collect();
+    let mut table = format!("== {} ==\n", variant.name());
+    table.push_str(&comparison_table(
+        &outcomes
+            .iter()
+            .map(|o| o.report.clone())
+            .collect::<Vec<_>>(),
+    ));
+    table.push_str("\nkeyword depth reached: ");
+    for o in &outcomes {
+        table.push_str(&format!("{}={} ", o.report.technique.label(), o.depth));
+    }
+    table.push('\n');
+    (outcomes, table)
+}
+
+/// Runs the higher-order technique on the branching-grammar parser and
+/// returns the report plus whether both productions were fully parsed.
+pub fn grammar_campaign(max_runs: usize) -> (Report, bool, bool) {
+    let (program, natives) = programs::grammar_parser();
+    let config = lexer_config(&program, max_runs);
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(Technique::HigherOrder);
+    let if_prod = report.found_error(10);
+    let while_prod = report.found_error(11);
+    (report, if_prod, while_prod)
+}
+
+/// Runs the higher-order technique on the collision lexer and reports
+/// which of the two collision-distinguished errors were reached.
+pub fn collision_campaign(max_runs: usize) -> (Report, bool, bool) {
+    let (program, natives) = programs::collision_lexer();
+    let config = lexer_config(&program, max_runs);
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(Technique::HigherOrder);
+    let impostor = report.found_error(1);
+    let genuine = report.found_error(2);
+    (report, genuine, impostor)
+}
+
+/// Runs the higher-order technique on the hard-coded-hash parser,
+/// optionally seeding the session with one well-formed input (§7, last
+/// paragraph). Returns the report and the keyword depth reached.
+pub fn hardcoded_campaign(seeded: bool, max_runs: usize) -> (Report, i64) {
+    let (program, natives) = programs::hardcoded_parser();
+    let mut config = lexer_config(&program, max_runs);
+    if seeded {
+        config.seed_corpus = vec![programs::encode_fixed(["if", "then", "end"])];
+    }
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(Technique::HigherOrder);
+    let depth = report.errors.keys().copied().max().unwrap_or(0);
+    (report, depth)
+}
+
+/// Runs the higher-order *compositional* technique on the
+/// `findsym`-wrapper parser (hash values hard-coded inside the wrapper),
+/// optionally seeded with a **scrambled** sentence `then end if`: it
+/// samples every keyword's hash without triggering any parse progress,
+/// so reaching the deep error requires *synthesizing* the correct
+/// keyword order from the summarized wrapper and the samples. Returns
+/// the report and keyword depth.
+pub fn findsym_campaign(seeded: bool, max_runs: usize) -> (Report, i64) {
+    let (program, natives) = programs::findsym_parser();
+    let mut config = lexer_config(&program, max_runs);
+    if seeded {
+        config.seed_corpus = vec![programs::encode_fixed(["then", "end", "if"])];
+    }
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(Technique::HigherOrderCompositional);
+    let depth = report.errors.keys().copied().max().unwrap_or(0);
+    (report, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_order_drives_through_fixed_lexer() {
+        let out = campaign(LexerVariant::Fixed, Technique::HigherOrder, 60);
+        assert!(
+            out.full_parse,
+            "HOTG must reach the full parse: {}",
+            out.report
+        );
+        assert_eq!(out.depth, 3);
+    }
+
+    #[test]
+    fn dart_stuck_at_lexer_fixed() {
+        for technique in [
+            Technique::DartUnsound,
+            Technique::DartSound,
+            Technique::DartSoundDelayed,
+        ] {
+            let out = campaign(LexerVariant::Fixed, technique, 60);
+            assert_eq!(
+                out.depth, 0,
+                "{technique} must not invert the hash: {}",
+                out.report
+            );
+        }
+    }
+
+    #[test]
+    fn random_stuck_at_lexer_fixed() {
+        let out = campaign(LexerVariant::Fixed, Technique::Random, 60);
+        assert_eq!(out.depth, 0, "{}", out.report);
+    }
+
+    #[test]
+    fn higher_order_drives_through_scanning_lexer() {
+        let out = campaign(LexerVariant::Scanning, Technique::HigherOrder, 80);
+        assert!(
+            out.depth >= 1,
+            "HOTG must recognize at least the first keyword: {}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn grammar_both_productions_parsed() {
+        let (report, if_prod, while_prod) = grammar_campaign(80);
+        assert!(if_prod, "`if then end` production: {report}");
+        assert!(while_prod, "`while then end` production: {report}");
+    }
+
+    #[test]
+    fn collision_inversion_reaches_both_preimages() {
+        let (report, genuine, impostor) = collision_campaign(40);
+        assert!(
+            genuine,
+            "must synthesize the genuine keyword `aa`: {report}"
+        );
+        assert!(
+            impostor,
+            "must synthesize the colliding impostor `efa`: {report}"
+        );
+    }
+
+    #[test]
+    fn findsym_compositional_with_scrambled_seed() {
+        let (report, depth) = findsym_campaign(true, 60);
+        // The scrambled seed itself parses nothing…
+        assert!(
+            !report.runs[1].outcome.is_error(),
+            "the seed must not trigger an error: {report}"
+        );
+        // …yet the campaign reassembles `if then end` from the samples.
+        assert_eq!(
+            depth, 3,
+            "summarized findsym + scrambled seed must reach the full parse: {report}"
+        );
+    }
+
+    #[test]
+    fn findsym_compositional_without_seed_is_stuck() {
+        let (report, depth) = findsym_campaign(false, 40);
+        assert_eq!(depth, 0, "no hash preimages observed: {report}");
+    }
+
+    #[test]
+    fn hardcoded_needs_a_representative_seed() {
+        // Without a well-formed seed there is nothing to invert: the
+        // keyword hashes were never observed.
+        let (report, depth) = hardcoded_campaign(false, 40);
+        assert_eq!(depth, 0, "no samples, no inversion: {report}");
+        // With one well-formed input, the findsym observations populate
+        // the table and the search walks back through every branch.
+        let (report, depth) = hardcoded_campaign(true, 40);
+        assert_eq!(
+            depth, 3,
+            "seeded session must reach the full parse: {report}"
+        );
+    }
+
+    #[test]
+    fn comparison_table_renders() {
+        let (outcomes, table) = full_comparison(LexerVariant::Fixed, 25);
+        assert_eq!(outcomes.len(), Technique::ALL.len());
+        assert!(table.contains("keyword_parser"));
+        assert!(table.contains("higher-order"));
+        assert!(table.contains("keyword depth"));
+    }
+}

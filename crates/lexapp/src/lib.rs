@@ -1,0 +1,31 @@
+//! The paper's §7 application: test generation for parsers whose lexers
+//! use hash functions for fast keyword recognition.
+//!
+//! Hash functions cannot be inverted symbolically, so ordinary dynamic
+//! test generation "is no better than blackbox random testing" at
+//! reaching code behind keyword checks (§7). Higher-order test
+//! generation inverts the hash *through its recorded samples*: the
+//! `addsym`-style initialization hashes every keyword at startup, those
+//! input–output pairs enter the antecedent `A`, and the validity engine
+//! picks the preimage cells that make a chunk's hash equal a keyword's.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hotg_core::Technique;
+//! use hotg_lexapp::{campaign, LexerVariant};
+//!
+//! let out = campaign(LexerVariant::Fixed, Technique::HigherOrder, 60);
+//! assert!(out.full_parse); // reaches `if then end`
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod harness;
+pub mod programs;
+
+pub use harness::{
+    campaign, collision_campaign, findsym_campaign, full_comparison, grammar_campaign,
+    hardcoded_campaign, lexer_config, LexerOutcome, LexerVariant,
+};

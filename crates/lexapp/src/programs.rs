@@ -1,0 +1,489 @@
+//! `mini` programs implementing the paper's §7 application: parsers whose
+//! lexers use a hash function for fast keyword recognition (the flex
+//! `hashfunct`/`findsym` pattern of Figure 4).
+//!
+//! Two variants are provided:
+//!
+//! * [`keyword_parser`] — fixed-width tokens: the input is split into
+//!   three 4-character cells, each hashed and compared against the
+//!   keyword table built during initialization (the `addsym` loop);
+//! * [`scanning_parser`] — flex-style scanning: chunks are delimited by
+//!   spaces, extracted by a loop, padded to four characters, and hashed.
+//!
+//! In both, the *only* way to reach the deep parser logic is to present
+//! chunks whose hash equals a keyword's hash — exactly the situation
+//! where "test generation is defeated already in the first processing
+//! stages" (§7) unless the hash function can be inverted through its
+//! recorded samples.
+
+use hotg_lang::{check, parse, NativeRegistry, Program};
+
+/// The lexer's hash function (flex-like multiply-and-add, table size
+/// 1024). Deliberately easy to compute and hopeless to reason about
+/// symbolically.
+pub fn hashfunct(chars: &[i64]) -> i64 {
+    let mut h: i64 = 0;
+    for &c in chars {
+        h = (h.wrapping_mul(31).wrapping_add(c)).rem_euclid(1024);
+    }
+    h
+}
+
+/// Character codes of a keyword, padded with zeros to width 4.
+pub fn keyword_cells(word: &str) -> [i64; 4] {
+    let mut out = [0i64; 4];
+    for (i, b) in word.bytes().take(4).enumerate() {
+        out[i] = b as i64;
+    }
+    out
+}
+
+/// The keywords of the toy input language.
+pub const KEYWORDS: [&str; 3] = ["if", "then", "end"];
+
+/// Registry with the 4-ary `hashfunct`.
+pub fn lexer_registry() -> NativeRegistry {
+    let mut n = NativeRegistry::new();
+    n.register("hashfunct", 4, |args| hashfunct(args));
+    n
+}
+
+fn build(src: &str) -> (Program, NativeRegistry) {
+    let program = parse(src).expect("lexer program parses");
+    check(&program).expect("lexer program checks");
+    (program, lexer_registry())
+}
+
+/// Encodes an input sentence into the 12-cell fixed-width buffer of
+/// [`keyword_parser`]: three words, each padded to 4 cells.
+pub fn encode_fixed(words: [&str; 3]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(12);
+    for w in words {
+        out.extend(keyword_cells(w));
+    }
+    out
+}
+
+/// Fixed-width keyword parser. The parse succeeds (reaching `error(3)`,
+/// the deep "bug") only for the sentence `if then end`; recognizing each
+/// keyword requires inverting `hashfunct`.
+///
+/// Error codes mark progress: 1 = first keyword recognized, 2 = first
+/// two, 3 = full parse (codes 1 and 2 are emitted on *malformed
+/// continuations* so each depth has an observable stop).
+pub fn keyword_parser() -> (Program, NativeRegistry) {
+    let [i0, i1, i2, i3] = keyword_cells("if");
+    let [t0, t1, t2, t3] = keyword_cells("then");
+    let [e0, e1, e2, e3] = keyword_cells("end");
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        program keyword_parser(buf: array[12]) {{
+            // addsym: populate the keyword hash table (Figure 4).
+            let kw_if   = hashfunct({i0}, {i1}, {i2}, {i3});
+            let kw_then = hashfunct({t0}, {t1}, {t2}, {t3});
+            let kw_end  = hashfunct({e0}, {e1}, {e2}, {e3});
+
+            // findsym on the three fixed-width chunks.
+            let tok0 = hashfunct(buf[0], buf[1], buf[2], buf[3]);
+            let tok1 = hashfunct(buf[4], buf[5], buf[6], buf[7]);
+            let tok2 = hashfunct(buf[8], buf[9], buf[10], buf[11]);
+
+            // Parser: expects `if then end`.
+            if (tok0 == kw_if) {{
+                if (tok1 == kw_then) {{
+                    if (tok2 == kw_end) {{
+                        error(3); // full parse: the deep bug
+                    }}
+                    error(2); // `if then <garbage>`
+                }}
+                error(1); // `if <garbage>`
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// Flex-style scanning parser over an 8-cell buffer: chunks are
+/// space-delimited (code 32), extracted by a scanning loop into four
+/// padded character registers, hashed, and matched; expects `if end`.
+pub fn scanning_parser() -> (Program, NativeRegistry) {
+    let [i0, i1, i2, i3] = keyword_cells("if");
+    let [e0, e1, e2, e3] = keyword_cells("end");
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        program scanning_parser(buf: array[8]) {{
+            let kw_if  = hashfunct({i0}, {i1}, {i2}, {i3});
+            let kw_end = hashfunct({e0}, {e1}, {e2}, {e3});
+
+            // Scan chunk 1: characters until a space (code 32) or 4 read.
+            let i = 0;
+            let c0 = 0; let c1 = 0; let c2 = 0; let c3 = 0;
+            let stop = 0;
+            while (i < 8 && stop == 0) {{
+                if (buf[i] == 32) {{
+                    stop = 1;
+                }} else {{
+                    if (i == 0) {{ c0 = buf[i]; }}
+                    if (i == 1) {{ c1 = buf[i]; }}
+                    if (i == 2) {{ c2 = buf[i]; }}
+                    if (i == 3) {{ c3 = buf[i]; }}
+                    if (i >= 4) {{ stop = 1; }}
+                    i = i + 1;
+                }}
+            }}
+            let tok0 = hashfunct(c0, c1, c2, c3);
+
+            // Scan chunk 2 from position i+1 (fixed window of 4).
+            let j = i + 1;
+            let d0 = 0; let d1 = 0; let d2 = 0; let d3 = 0;
+            if (j + 3 < 8) {{
+                d0 = buf[j];
+                d1 = buf[j + 1];
+                d2 = buf[j + 2];
+                d3 = buf[j + 3];
+            }}
+            let tok1 = hashfunct(d0, d1, d2, d3);
+
+            if (tok0 == kw_if) {{
+                if (tok1 == kw_end) {{
+                    error(2); // `if end` fully parsed
+                }}
+                error(1); // `if <garbage>`
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// A branching grammar: the first token selects a production —
+/// `if then end` reaches `error(10)`, `while then end` reaches
+/// `error(11)` — so full coverage requires inverting the hash to *two
+/// different* keywords at the same position.
+pub fn grammar_parser() -> (Program, NativeRegistry) {
+    let [i0, i1, i2, i3] = keyword_cells("if");
+    let [w0, w1, w2, w3] = keyword_cells("whil");
+    let [t0, t1, t2, t3] = keyword_cells("then");
+    let [e0, e1, e2, e3] = keyword_cells("end");
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        program grammar_parser(buf: array[12]) {{
+            let kw_if    = hashfunct({i0}, {i1}, {i2}, {i3});
+            let kw_while = hashfunct({w0}, {w1}, {w2}, {w3});
+            let kw_then  = hashfunct({t0}, {t1}, {t2}, {t3});
+            let kw_end   = hashfunct({e0}, {e1}, {e2}, {e3});
+
+            let tok0 = hashfunct(buf[0], buf[1], buf[2], buf[3]);
+            let tok1 = hashfunct(buf[4], buf[5], buf[6], buf[7]);
+            let tok2 = hashfunct(buf[8], buf[9], buf[10], buf[11]);
+
+            if (tok0 == kw_if) {{
+                if (tok1 == kw_then) {{
+                    if (tok2 == kw_end) {{
+                        error(10); // `if then end`
+                    }}
+                }}
+                error(1);
+            }}
+            if (tok0 == kw_while) {{
+                if (tok1 == kw_then) {{
+                    if (tok2 == kw_end) {{
+                        error(11); // `while then end`
+                    }}
+                }}
+                error(2);
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// Collision demonstration (§7: "to handle hash collisions"): the
+/// keyword `aa` and the reserved word `efa` have the same `hashfunct`
+/// value (32), so inverting the hash has two distinct preimages. Code
+/// behind the keyword check distinguishes the genuine keyword
+/// (`error(2)`) from a colliding impostor (`error(1)`); reaching *both*
+/// requires the sample-driven inversion to enumerate both preimages.
+pub fn collision_lexer() -> (Program, NativeRegistry) {
+    let [a0, a1, a2, a3] = keyword_cells("aa");
+    let [e0, e1, e2, e3] = keyword_cells("efa");
+    debug_assert_eq!(
+        hashfunct(&keyword_cells("aa")),
+        hashfunct(&keyword_cells("efa")),
+        "chosen words must collide"
+    );
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        program collision_lexer(buf: array[4]) {{
+            let kw_aa  = hashfunct({a0}, {a1}, {a2}, {a3});
+            let kw_efa = hashfunct({e0}, {e1}, {e2}, {e3});
+            let tok = hashfunct(buf[0], buf[1], buf[2], buf[3]);
+            if (tok == kw_aa) {{
+                if (buf[0] == {a0} && buf[1] == {a1}) {{
+                    error(2); // the genuine keyword
+                }}
+                error(1); // a colliding impostor
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// The §7 "hard-coded hash values" variant (last paragraph): the keyword
+/// hash constants are baked into the source as integer literals, so there
+/// is no `addsym` loop to observe at startup. Input–output pairs for
+/// `hashfunct` "could still be learned over time by starting the testing
+/// session with a representative set of well-formed inputs" — see
+/// [`crate::hardcoded_campaign`].
+pub fn hardcoded_parser() -> (Program, NativeRegistry) {
+    let kw_if = hashfunct(&keyword_cells("if"));
+    let kw_then = hashfunct(&keyword_cells("then"));
+    let kw_end = hashfunct(&keyword_cells("end"));
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        program hardcoded_parser(buf: array[12]) {{
+            // Keyword hash values are pre-computed constants; nothing is
+            // hashed at startup.
+            let tok0 = hashfunct(buf[0], buf[1], buf[2], buf[3]);
+            let tok1 = hashfunct(buf[4], buf[5], buf[6], buf[7]);
+            let tok2 = hashfunct(buf[8], buf[9], buf[10], buf[11]);
+            if (tok0 == {kw_if}) {{
+                if (tok1 == {kw_then}) {{
+                    if (tok2 == {kw_end}) {{
+                        error(3);
+                    }}
+                    error(2);
+                }}
+                error(1);
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// The §7 + §8 combination: the paper suggests tracking "possibly a
+/// hash-function wrapper like `findsym`". Here `findsym` is a *defined*
+/// function classifying a chunk into a token id by comparing its hash
+/// against hard-coded keyword hashes; in compositional mode it is
+/// summarized, so the campaign reasons with
+/// `hashfunct(c…) = H_kw ⇒ findsym#(c…) = k` implications on top of the
+/// recorded `hashfunct` samples.
+pub fn findsym_parser() -> (Program, NativeRegistry) {
+    let kw_if = hashfunct(&keyword_cells("if"));
+    let kw_then = hashfunct(&keyword_cells("then"));
+    let kw_end = hashfunct(&keyword_cells("end"));
+    let src = format!(
+        r#"
+        native hashfunct/4;
+        fn findsym(c0: int, c1: int, c2: int, c3: int) {{
+            let h = hashfunct(c0, c1, c2, c3);
+            if (h == {kw_if}) {{ return 1; }}
+            if (h == {kw_then}) {{ return 2; }}
+            if (h == {kw_end}) {{ return 3; }}
+            return 0;
+        }}
+        program findsym_parser(buf: array[12]) {{
+            let t0 = findsym(buf[0], buf[1], buf[2], buf[3]);
+            let t1 = findsym(buf[4], buf[5], buf[6], buf[7]);
+            let t2 = findsym(buf[8], buf[9], buf[10], buf[11]);
+            if (t0 == 1) {{
+                if (t1 == 2) {{
+                    if (t2 == 3) {{
+                        error(3);
+                    }}
+                    error(2);
+                }}
+                error(1);
+            }}
+            return;
+        }}
+        "#
+    );
+    build(&src)
+}
+
+/// Encodes a sentence for [`scanning_parser`]: a chunk, a space, then a
+/// 4-padded second chunk, all in 8 cells.
+pub fn encode_scanning(first: &str, second: &str) -> Vec<i64> {
+    let mut out = vec![0i64; 8];
+    let mut pos = 0;
+    for b in first.bytes().take(4) {
+        out[pos] = b as i64;
+        pos += 1;
+    }
+    out[pos] = 32;
+    pos += 1;
+    for (k, b) in second.bytes().take(4).enumerate() {
+        if pos + k < 8 {
+            out[pos + k] = b as i64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotg_lang::{run, InputVector, Outcome};
+
+    #[test]
+    fn hashfunct_is_deterministic_and_spread() {
+        let a = hashfunct(&keyword_cells("if"));
+        let b = hashfunct(&keyword_cells("then"));
+        let c = hashfunct(&keyword_cells("end"));
+        assert!(a != b && b != c && a != c, "keywords must not collide");
+        assert!((0..1024).contains(&a));
+    }
+
+    #[test]
+    fn keyword_cells_padding() {
+        assert_eq!(keyword_cells("if"), [105, 102, 0, 0]);
+        assert_eq!(keyword_cells("then"), [116, 104, 101, 110]);
+        assert_eq!(keyword_cells("longword"), [108, 111, 110, 103]);
+    }
+
+    #[test]
+    fn keyword_parser_accepts_the_sentence() {
+        let (p, n) = keyword_parser();
+        let inputs = InputVector::new(encode_fixed(["if", "then", "end"]));
+        let (o, _) = run(&p, &n, &inputs, 100_000);
+        assert_eq!(o, Outcome::Error(3));
+    }
+
+    #[test]
+    fn keyword_parser_partial_sentences() {
+        let (p, n) = keyword_parser();
+        let cases = [
+            (["if", "then", "xxx"], Outcome::Error(2)),
+            (["if", "xxx", "end"], Outcome::Error(1)),
+            (["xx", "then", "end"], Outcome::Returned),
+        ];
+        for (words, expected) in cases {
+            let (o, _) = run(&p, &n, &InputVector::new(encode_fixed(words)), 100_000);
+            assert_eq!(o, expected, "{words:?}");
+        }
+    }
+
+    #[test]
+    fn keyword_parser_initialization_hashes_keywords() {
+        let (p, n) = keyword_parser();
+        let inputs = InputVector::new(vec![97; 12]);
+        let (_, trace) = run(&p, &n, &inputs, 100_000);
+        // 3 addsym calls + 3 findsym calls.
+        assert_eq!(trace.native_calls.len(), 6);
+        assert_eq!(trace.native_calls[0].1, keyword_cells("if").to_vec());
+    }
+
+    #[test]
+    fn scanning_parser_accepts() {
+        let (p, n) = scanning_parser();
+        let inputs = InputVector::new(encode_scanning("if", "end"));
+        let (o, _) = run(&p, &n, &inputs, 100_000);
+        assert_eq!(o, Outcome::Error(2));
+    }
+
+    #[test]
+    fn scanning_parser_rejects_garbage() {
+        let (p, n) = scanning_parser();
+        let (o, _) = run(&p, &n, &InputVector::new(vec![97; 8]), 100_000);
+        assert_eq!(o, Outcome::Returned);
+        let (o2, _) = run(
+            &p,
+            &n,
+            &InputVector::new(encode_scanning("if", "xxx")),
+            100_000,
+        );
+        assert_eq!(o2, Outcome::Error(1));
+    }
+
+    #[test]
+    fn grammar_parser_both_productions() {
+        let (p, n) = grammar_parser();
+        let (o, _) = run(
+            &p,
+            &n,
+            &InputVector::new(encode_fixed(["if", "then", "end"])),
+            100_000,
+        );
+        assert_eq!(o, Outcome::Error(10));
+        let (o2, _) = run(
+            &p,
+            &n,
+            &InputVector::new(encode_fixed(["whil", "then", "end"])),
+            100_000,
+        );
+        assert_eq!(o2, Outcome::Error(11));
+        let (o3, _) = run(&p, &n, &InputVector::new(vec![97; 12]), 100_000);
+        assert_eq!(o3, Outcome::Returned);
+    }
+
+    #[test]
+    fn collision_pair_collides() {
+        assert_eq!(
+            hashfunct(&keyword_cells("aa")),
+            hashfunct(&keyword_cells("efa"))
+        );
+        assert_ne!(keyword_cells("aa"), keyword_cells("efa"));
+    }
+
+    #[test]
+    fn collision_lexer_semantics() {
+        let (p, n) = collision_lexer();
+        let aa = keyword_cells("aa").to_vec();
+        let efa = keyword_cells("efa").to_vec();
+        let (o, _) = run(&p, &n, &InputVector::new(aa), 100_000);
+        assert_eq!(o, Outcome::Error(2));
+        let (o2, _) = run(&p, &n, &InputVector::new(efa), 100_000);
+        assert_eq!(o2, Outcome::Error(1));
+        let (o3, _) = run(&p, &n, &InputVector::new(vec![120; 4]), 100_000);
+        assert_eq!(o3, Outcome::Returned);
+    }
+
+    #[test]
+    fn findsym_parser_semantics() {
+        let (p, n) = findsym_parser();
+        let (o, _) = run(
+            &p,
+            &n,
+            &InputVector::new(encode_fixed(["if", "then", "end"])),
+            100_000,
+        );
+        assert_eq!(o, Outcome::Error(3));
+        let (o2, _) = run(&p, &n, &InputVector::new(vec![97; 12]), 100_000);
+        assert_eq!(o2, Outcome::Returned);
+    }
+
+    #[test]
+    fn hardcoded_parser_semantics() {
+        let (p, n) = hardcoded_parser();
+        let (o, trace) = run(
+            &p,
+            &n,
+            &InputVector::new(encode_fixed(["if", "then", "end"])),
+            100_000,
+        );
+        assert_eq!(o, Outcome::Error(3));
+        // No addsym calls: only the three findsym hashes.
+        assert_eq!(trace.native_calls.len(), 3);
+    }
+
+    #[test]
+    fn encode_scanning_layout() {
+        let v = encode_scanning("if", "end");
+        assert_eq!(v, vec![105, 102, 32, 101, 110, 100, 0, 0]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Models: assignments of values to symbolic variables and finite
+//! interpretations of uninterpreted functions.
+//!
+//! A satisfying assignment from the solver, the "counter-interpretation"
+//! that witnesses invalidity (Section 4.2 of the paper: "consider the
+//! function h such that h(x) = 0 for all x"), and the recorded sample table
+//! all evaluate terms through this type.
+
+use crate::sort::Value;
+use crate::sym::{FuncSym, Signature, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite interpretation of one uninterpreted function: an explicit
+/// argument-tuple table plus a default value for unlisted tuples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncInterp {
+    table: BTreeMap<Vec<i64>, i64>,
+    default: Option<i64>,
+}
+
+impl FuncInterp {
+    /// Creates an empty interpretation with no default.
+    pub fn new() -> FuncInterp {
+        FuncInterp::default()
+    }
+
+    /// Creates an interpretation that maps everything to `default`.
+    pub fn constant(default: i64) -> FuncInterp {
+        FuncInterp {
+            table: BTreeMap::new(),
+            default: Some(default),
+        }
+    }
+
+    /// Sets the value for one argument tuple, returning any previous value.
+    pub fn insert(&mut self, args: Vec<i64>, value: i64) -> Option<i64> {
+        self.table.insert(args, value)
+    }
+
+    /// Sets the default value for unlisted tuples.
+    pub fn set_default(&mut self, value: i64) {
+        self.default = Some(value);
+    }
+
+    /// Applies the interpretation to an argument tuple.
+    pub fn apply(&self, args: &[i64]) -> Option<i64> {
+        self.table.get(args).copied().or(self.default)
+    }
+
+    /// Whether this exact tuple has an explicit entry.
+    pub fn contains(&self, args: &[i64]) -> bool {
+        self.table.contains_key(args)
+    }
+
+    /// Iterates over explicit `(args, value)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&Vec<i64>, i64)> {
+        self.table.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether there are no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// A model: variable assignment plus uninterpreted function
+/// interpretations.
+///
+/// # Examples
+///
+/// ```
+/// use hotg_logic::{Model, Signature, Sort, Term, Value};
+///
+/// let mut sig = Signature::new();
+/// let y = sig.declare_var("y", Sort::Int);
+/// let h = sig.declare_func("hash", 1);
+///
+/// let mut m = Model::new();
+/// m.set_var(y, Value::Int(42));
+/// m.set_func_entry(h, vec![42], 567);
+/// let t = Term::app(h, vec![Term::var(y)]);
+/// assert_eq!(t.eval(&m), Some(567));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    vars: BTreeMap<Var, Value>,
+    funcs: BTreeMap<FuncSym, FuncInterp>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Assigns a variable.
+    pub fn set_var(&mut self, v: Var, value: Value) {
+        self.vars.insert(v, value);
+    }
+
+    /// The value of a variable, if assigned.
+    pub fn var(&self, v: Var) -> Option<Value> {
+        self.vars.get(&v).copied()
+    }
+
+    /// Inserts one explicit entry into a function's interpretation.
+    pub fn set_func_entry(&mut self, f: FuncSym, args: Vec<i64>, value: i64) {
+        self.funcs.entry(f).or_default().insert(args, value);
+    }
+
+    /// Sets the default value of a function's interpretation.
+    pub fn set_func_default(&mut self, f: FuncSym, value: i64) {
+        self.funcs.entry(f).or_default().set_default(value);
+    }
+
+    /// Replaces a function's whole interpretation.
+    pub fn set_func(&mut self, f: FuncSym, interp: FuncInterp) {
+        self.funcs.insert(f, interp);
+    }
+
+    /// The interpretation of a function, if any.
+    pub fn func(&self, f: FuncSym) -> Option<&FuncInterp> {
+        self.funcs.get(&f)
+    }
+
+    /// Applies a function to concrete arguments using its interpretation.
+    pub fn apply(&self, f: FuncSym, args: &[i64]) -> Option<i64> {
+        self.funcs.get(&f)?.apply(args)
+    }
+
+    /// Iterates over assigned variables.
+    pub fn vars(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
+        self.vars.iter().map(|(v, x)| (*v, *x))
+    }
+
+    /// Iterates over interpreted functions.
+    pub fn funcs(&self) -> impl Iterator<Item = (FuncSym, &FuncInterp)> {
+        self.funcs.iter().map(|(f, i)| (*f, i))
+    }
+
+    /// Number of assigned variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Merges another model into this one (other's entries win on clash).
+    pub fn extend(&mut self, other: &Model) {
+        for (v, x) in other.vars() {
+            self.vars.insert(v, x);
+        }
+        for (f, interp) in other.funcs() {
+            let slot = self.funcs.entry(f).or_default();
+            for (args, val) in interp.entries() {
+                slot.insert(args.clone(), val);
+            }
+            if let Some(d) = interp.default {
+                slot.set_default(d);
+            }
+        }
+    }
+
+    /// Renders the model with names from `sig`.
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> ModelDisplay<'a> {
+        ModelDisplay { model: self, sig }
+    }
+}
+
+/// Helper returned by [`Model::display`].
+pub struct ModelDisplay<'a> {
+    model: &'a Model,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for ModelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, x) in self.model.vars() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} = {}", self.sig.var_name(v), x)?;
+            first = false;
+        }
+        for (fs, interp) in self.model.funcs() {
+            for (args, val) in interp.entries() {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}(", self.sig.func_name(fs))?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") = {val}")?;
+                first = false;
+            }
+            if let Some(d) = interp.default {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}(_) = {d}", self.sig.func_name(fs))?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("<empty model>")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn func_interp_basics() {
+        let mut fi = FuncInterp::new();
+        assert!(fi.is_empty());
+        assert_eq!(fi.apply(&[1]), None);
+        fi.insert(vec![1], 10);
+        assert_eq!(fi.apply(&[1]), Some(10));
+        assert_eq!(fi.apply(&[2]), None);
+        fi.set_default(0);
+        assert_eq!(fi.apply(&[2]), Some(0));
+        assert!(fi.contains(&[1]));
+        assert!(!fi.contains(&[2]));
+        assert_eq!(fi.len(), 1);
+    }
+
+    #[test]
+    fn constant_interp() {
+        let fi = FuncInterp::constant(7);
+        assert_eq!(fi.apply(&[99, 100]), Some(7));
+        assert!(fi.is_empty());
+    }
+
+    #[test]
+    fn model_roundtrip() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let h = sig.declare_func("h", 1);
+        let mut m = Model::new();
+        m.set_var(x, Value::Int(3));
+        m.set_func_entry(h, vec![3], 30);
+        assert_eq!(m.var(x), Some(Value::Int(3)));
+        assert_eq!(m.apply(h, &[3]), Some(30));
+        assert_eq!(m.apply(h, &[4]), None);
+        assert_eq!(m.var_count(), 1);
+    }
+
+    #[test]
+    fn model_extend() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        let h = sig.declare_func("h", 1);
+        let mut a = Model::new();
+        a.set_var(x, Value::Int(1));
+        a.set_func_entry(h, vec![1], 10);
+        let mut b = Model::new();
+        b.set_var(x, Value::Int(2));
+        b.set_var(y, Value::Int(5));
+        b.set_func_entry(h, vec![2], 20);
+        a.extend(&b);
+        assert_eq!(a.var(x), Some(Value::Int(2)));
+        assert_eq!(a.var(y), Some(Value::Int(5)));
+        assert_eq!(a.apply(h, &[1]), Some(10));
+        assert_eq!(a.apply(h, &[2]), Some(20));
+    }
+
+    #[test]
+    fn model_display() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let h = sig.declare_func("h", 1);
+        let mut m = Model::new();
+        assert_eq!(m.display(&sig).to_string(), "<empty model>");
+        m.set_var(x, Value::Int(3));
+        m.set_func_entry(h, vec![42], 567);
+        let s = m.display(&sig).to_string();
+        assert!(s.contains("x = 3"));
+        assert!(s.contains("h(42) = 567"));
+    }
+}

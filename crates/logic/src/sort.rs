@@ -1,0 +1,158 @@
+//! Sorts and concrete values of the logic.
+//!
+//! The theory `T` in the paper is left abstract; our engine instantiates it
+//! with quantifier-free linear integer arithmetic plus booleans, combined
+//! with the theory of equality with uninterpreted functions (EUF) — written
+//! `T ∪ T_EUF` in Section 5 of the paper.
+
+use std::fmt;
+
+/// The sort (logic-level type) of a term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// Mathematical integers (program `int`s are modelled as unbounded).
+    Int,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Int => f.write_str("Int"),
+            Sort::Bool => f.write_str("Bool"),
+        }
+    }
+}
+
+/// A concrete value of some [`Sort`].
+///
+/// # Examples
+///
+/// ```
+/// use hotg_logic::{Sort, Value};
+///
+/// assert_eq!(Value::Int(3).sort(), Sort::Int);
+/// assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The sort this value inhabits.
+    pub fn sort(self) -> Sort {
+        match self {
+            Value::Int(_) => Sort::Int,
+            Value::Bool(_) => Sort::Bool,
+        }
+    }
+
+    /// Extracts the integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Bool(_) => panic!("expected Int value, found Bool"),
+        }
+    }
+
+    /// Extracts the boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a boolean.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(v) => v,
+            Value::Int(_) => panic!("expected Bool value, found Int"),
+        }
+    }
+
+    /// Extracts the integer payload if present.
+    pub fn int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Extracts the boolean payload if present.
+    pub fn bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts() {
+        assert_eq!(Value::Int(0).sort(), Sort::Int);
+        assert_eq!(Value::Bool(false).sort(), Sort::Bool);
+        assert_eq!(Sort::Int.to_string(), "Int");
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert!(Value::Bool(true).as_bool());
+        assert_eq!(Value::Int(7).int(), Some(7));
+        assert_eq!(Value::Int(7).bool(), None);
+        assert_eq!(Value::Bool(true).bool(), Some(true));
+        assert_eq!(Value::Bool(true).int(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_bool() {
+        let _ = Value::Bool(true).as_int();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Bool")]
+    fn as_bool_panics_on_int() {
+        let _ = Value::Int(1).as_bool();
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,240 @@
+//! Symbolic variables, uninterpreted function symbols, and signatures.
+//!
+//! In the paper's notation, symbolic variables `x_i` stand for program
+//! inputs `I_i`, and uninterpreted function symbols `f` stand for unknown
+//! functions or instructions encountered during symbolic execution
+//! (Figure 3, line 10).
+
+use crate::sort::Sort;
+use std::fmt;
+
+/// A symbolic input variable `x_i`.
+///
+/// Variables are plain indices; their names, sorts, and the mapping back to
+/// program inputs live in a [`Signature`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index of this variable in its [`Signature`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An uninterpreted function symbol representing an unknown function or
+/// instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncSym(pub u32);
+
+impl FuncSym {
+    /// The index of this symbol in its [`Signature`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Declaration of a symbolic variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Human-readable name (usually the program input's name).
+    pub name: String,
+    /// Sort of the variable.
+    pub sort: Sort,
+}
+
+/// Declaration of an uninterpreted function symbol.
+///
+/// All uninterpreted functions map integer tuples to integers: the paper's
+/// unknown functions (`hash`, crypto, OS calls…) are integer-valued over
+/// integer arguments once inputs are flattened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Human-readable name (the unknown function's program name).
+    pub name: String,
+    /// Number of arguments.
+    pub arity: usize,
+}
+
+/// A signature: the set of declared symbolic variables and uninterpreted
+/// function symbols for one test-generation problem.
+///
+/// # Examples
+///
+/// ```
+/// use hotg_logic::{Signature, Sort};
+///
+/// let mut sig = Signature::new();
+/// let x = sig.declare_var("x", Sort::Int);
+/// let h = sig.declare_func("hash", 1);
+/// assert_eq!(sig.var_name(x), "x");
+/// assert_eq!(sig.func_name(h), "hash");
+/// assert_eq!(sig.func_arity(h), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Signature {
+    vars: Vec<VarDecl>,
+    funcs: Vec<FuncDecl>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    /// Declares a fresh symbolic variable and returns its handle.
+    pub fn declare_var(&mut self, name: impl Into<String>, sort: Sort) -> Var {
+        let id = u32::try_from(self.vars.len()).expect("too many variables");
+        self.vars.push(VarDecl {
+            name: name.into(),
+            sort,
+        });
+        Var(id)
+    }
+
+    /// Declares a fresh uninterpreted function symbol and returns its handle.
+    pub fn declare_func(&mut self, name: impl Into<String>, arity: usize) -> FuncSym {
+        let id = u32::try_from(self.funcs.len()).expect("too many function symbols");
+        self.funcs.push(FuncDecl {
+            name: name.into(),
+            arity,
+        });
+        FuncSym(id)
+    }
+
+    /// Looks up a function symbol by name, if declared.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncSym> {
+        self.funcs
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| FuncSym(i as u32))
+    }
+
+    /// Looks up a variable by name, if declared.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.vars
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of declared function symbols.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// All declared variables, in declaration order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.vars.len() as u32).map(Var)
+    }
+
+    /// All declared function symbols, in declaration order.
+    pub fn funcs(&self) -> impl Iterator<Item = FuncSym> + '_ {
+        (0..self.funcs.len() as u32).map(FuncSym)
+    }
+
+    /// Name of a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not declared in this signature.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Sort of a declared variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not declared in this signature.
+    pub fn var_sort(&self, v: Var) -> Sort {
+        self.vars[v.index()].sort
+    }
+
+    /// Name of a declared function symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` was not declared in this signature.
+    pub fn func_name(&self, f: FuncSym) -> &str {
+        &self.funcs[f.index()].name
+    }
+
+    /// Arity of a declared function symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` was not declared in this signature.
+    pub fn func_arity(&self, f: FuncSym) -> usize {
+        self.funcs[f.index()].arity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declarations() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        let h = sig.declare_func("hash", 1);
+        assert_eq!(x, Var(0));
+        assert_eq!(y, Var(1));
+        assert_eq!(h, FuncSym(0));
+        assert_eq!(sig.var_count(), 2);
+        assert_eq!(sig.func_count(), 1);
+        assert_eq!(sig.var_name(y), "y");
+        assert_eq!(sig.var_sort(y), Sort::Int);
+        assert_eq!(sig.func_name(h), "hash");
+        assert_eq!(sig.func_arity(h), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let h = sig.declare_func("hash", 1);
+        assert_eq!(sig.var_by_name("x"), Some(x));
+        assert_eq!(sig.var_by_name("nope"), None);
+        assert_eq!(sig.func_by_name("hash"), Some(h));
+        assert_eq!(sig.func_by_name("nope"), None);
+    }
+
+    #[test]
+    fn iterators() {
+        let mut sig = Signature::new();
+        sig.declare_var("a", Sort::Int);
+        sig.declare_var("b", Sort::Bool);
+        sig.declare_func("f", 2);
+        assert_eq!(sig.vars().count(), 2);
+        assert_eq!(sig.funcs().count(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var(3).to_string(), "x3");
+        assert_eq!(FuncSym(1).to_string(), "f1");
+        assert_eq!(Var(2).index(), 2);
+        assert_eq!(FuncSym(2).index(), 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the logic layer: field axioms of `Rat`,
+//! evaluation/substitution laws of terms and formulas, and agreement of
+//! linear-form extraction with direct evaluation.
+
+use hotg_logic::{
+    Atom, Formula, LinExpr, LinKey, Model, Rat, Rel, Signature, Sort, Term, Value, Var,
+};
+use proptest::prelude::*;
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-1000i64..=1000, 1i64..=60).prop_map(|(n, d)| Rat::new(n as i128, d as i128))
+}
+
+proptest! {
+    #[test]
+    fn rat_add_commutative(a in arb_rat(), b in arb_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rat_add_associative(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rat_mul_distributes(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rat_additive_inverse(a in arb_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn rat_mul_inverse(a in arb_rat()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip(), Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn rat_floor_ceil_adjacent(a in arb_rat()) {
+        let f = a.floor();
+        let c = a.ceil();
+        prop_assert!(Rat::from(f) <= a);
+        prop_assert!(a <= Rat::from(c));
+        prop_assert!(c - f <= 1);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        }
+    }
+
+    #[test]
+    fn rat_order_total(a in arb_rat(), b in arb_rat()) {
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!([lt, gt, eq].iter().filter(|x| **x).count(), 1);
+    }
+}
+
+/// Random linear terms over two variables (no UF applications, no
+/// division), paired with a model, so that linearization can be compared
+/// against direct evaluation.
+fn arb_linear_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-50i64..=50).prop_map(Term::int),
+        Just(Term::var(Var(0))),
+        Just(Term::var(Var(1))),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), -6i64..=6).prop_map(|(a, k)| a * Term::int(k)),
+            inner.prop_map(|a| -a),
+        ]
+    })
+}
+
+fn two_var_model(x: i64, y: i64) -> (Signature, Model) {
+    let mut sig = Signature::new();
+    let vx = sig.declare_var("x", Sort::Int);
+    let vy = sig.declare_var("y", Sort::Int);
+    let mut m = Model::new();
+    m.set_var(vx, Value::Int(x));
+    m.set_var(vy, Value::Int(y));
+    (sig, m)
+}
+
+fn eval_linexpr(e: &LinExpr, m: &Model) -> Option<Rat> {
+    let mut total = e.constant();
+    for (k, c) in e.coeffs() {
+        let v = match k {
+            LinKey::Var(v) => m.var(*v)?.int()?,
+            LinKey::App(_) => return None,
+        };
+        total += c * Rat::from(v);
+    }
+    Some(total)
+}
+
+proptest! {
+    /// Linearization preserves the value of the term.
+    #[test]
+    fn linearize_agrees_with_eval(
+        t in arb_linear_term(),
+        x in -40i64..=40,
+        y in -40i64..=40,
+    ) {
+        let (_sig, m) = two_var_model(x, y);
+        let direct = t.eval(&m);
+        let lin = LinExpr::linearize(&t).expect("term is linear");
+        let via_lin = eval_linexpr(&lin, &m).expect("model covers vars");
+        if let Some(d) = direct {
+            prop_assert_eq!(Rat::from(d), via_lin);
+        }
+        // direct == None only on i64 overflow, which the exact rationals
+        // do not have; nothing to compare then.
+    }
+
+    /// Substituting a constant then evaluating equals evaluating with the
+    /// variable bound to that constant.
+    #[test]
+    fn subst_eval_coherence(
+        t in arb_linear_term(),
+        x in -40i64..=40,
+        y in -40i64..=40,
+    ) {
+        let (_sig, m) = two_var_model(x, y);
+        let substituted = t.subst(&|v| (v == Var(0)).then(|| Term::int(x)));
+        let (_sig2, m2) = two_var_model(999, y); // x binding must not matter
+        if let (Some(a), Some(b)) = (substituted.eval(&m2), t.eval(&m)) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Atom negation flips evaluation.
+    #[test]
+    fn atom_negate_flips(
+        l in arb_linear_term(),
+        r in arb_linear_term(),
+        x in -40i64..=40,
+        y in -40i64..=40,
+        rel_ix in 0usize..6,
+    ) {
+        let rel = [Rel::Eq, Rel::Ne, Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge][rel_ix];
+        let (_sig, m) = two_var_model(x, y);
+        let a = Atom::new(l, rel, r);
+        if let Some(v) = a.eval(&m) {
+            prop_assert_eq!(a.negate().eval(&m), Some(!v));
+        }
+    }
+
+    /// Formula NNF preserves evaluation; double negation is identity.
+    #[test]
+    fn formula_nnf_preserves_eval(
+        l in arb_linear_term(),
+        r in arb_linear_term(),
+        l2 in arb_linear_term(),
+        r2 in arb_linear_term(),
+        x in -40i64..=40,
+        y in -40i64..=40,
+    ) {
+        let (_sig, m) = two_var_model(x, y);
+        let f = Formula::atom(Atom::new(l, Rel::Lt, r))
+            .and(Formula::Not(Box::new(Formula::atom(Atom::new(l2, Rel::Eq, r2)))));
+        let g = Formula::Not(Box::new(f.clone()));
+        if let Some(v) = f.eval(&m) {
+            prop_assert_eq!(f.nnf().eval(&m), Some(v));
+            prop_assert_eq!(g.eval(&m), Some(!v));
+            prop_assert_eq!(g.negate().eval(&m), Some(v));
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! Lazy DPLL(T) for quantifier-free formulas over linear integer
+//! arithmetic plus equality with uninterpreted functions (`T ∪ T_EUF`,
+//! Section 5.2 of the paper).
+//!
+//! Uninterpreted applications are handled by *Ackermann expansion*: each
+//! distinct application becomes an opaque integer unknown, and for every
+//! pair of same-symbol applications a functional-consistency clause
+//! `args₁ = args₂ → f(args₁) = f(args₂)` is conjoined to the input. The
+//! result is a pure LIA problem solved by CDCL over the boolean
+//! abstraction with simplex + branch-and-bound as the theory oracle.
+
+use crate::atoms::{eq_split, negate_le, normalize, NormAtom, Prim};
+use crate::lia::{solve_int, ConKind, IntConstraint, LiaConfig, LiaResult};
+use hotg_logic::{Atom, Formula, LinKey, Model, NonLinearError, Term, Value};
+use hotg_sat::{Lit, SatResult, SatSolver};
+use std::collections::HashMap;
+
+/// Result of an SMT satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmtResult {
+    /// Satisfiable: the model assigns every variable of the formula and
+    /// gives explicit interpretation entries for every application in it.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The budget was exhausted before a definitive answer.
+    Unknown,
+}
+
+impl SmtResult {
+    /// `true` if satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+}
+
+/// Configuration of the SMT solver.
+#[derive(Clone, Copy, Debug)]
+pub struct SmtConfig {
+    /// Theory-solver configuration (variable bounds, branching budget).
+    pub lia: LiaConfig,
+    /// Maximum number of SAT ↔ theory refinement rounds.
+    pub max_rounds: u64,
+}
+
+impl SmtConfig {
+    /// The default configuration.
+    pub fn new() -> SmtConfig {
+        SmtConfig {
+            lia: LiaConfig::default(),
+            max_rounds: 100_000,
+        }
+    }
+}
+
+impl Default for SmtConfig {
+    fn default() -> SmtConfig {
+        SmtConfig::new()
+    }
+}
+
+/// A quantifier-free `T ∪ T_EUF` satisfiability solver.
+///
+/// # Examples
+///
+/// ```
+/// use hotg_logic::{Atom, Formula, Signature, Sort, Term};
+/// use hotg_solver::smt::{SmtResult, SmtSolver};
+///
+/// let mut sig = Signature::new();
+/// let x = sig.declare_var("x", Sort::Int);
+/// let h = sig.declare_func("hash", 1);
+/// // x = hash(42) ∧ hash(42) = 567  ⇒  x = 567.
+/// let f = Formula::atom(Atom::eq(Term::var(x), Term::app(h, vec![Term::int(42)])))
+///     .and(Formula::atom(Atom::eq(Term::app(h, vec![Term::int(42)]), Term::int(567))));
+/// match SmtSolver::new().check(&f)? {
+///     SmtResult::Sat(m) => assert_eq!(Term::var(x).eval(&m), Some(567)),
+///     _ => unreachable!(),
+/// }
+/// # Ok::<(), hotg_logic::NonLinearError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SmtSolver {
+    config: SmtConfig,
+}
+
+#[derive(Debug)]
+struct Encoder {
+    sat: SatSolver,
+    prim_vars: HashMap<Prim, u32>,
+    prims: Vec<(Prim, u32)>,
+    true_var: Option<u32>,
+}
+
+impl Encoder {
+    fn new() -> Encoder {
+        Encoder {
+            sat: SatSolver::new(),
+            prim_vars: HashMap::new(),
+            prims: Vec::new(),
+            true_var: None,
+        }
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        let v = match self.true_var {
+            Some(v) => v,
+            None => {
+                let v = self.sat.new_var();
+                self.sat.add_clause([Lit::pos(v)]);
+                self.true_var = Some(v);
+                v
+            }
+        };
+        Lit::pos(v)
+    }
+
+    fn prim_var(&mut self, prim: Prim) -> u32 {
+        if let Some(&v) = self.prim_vars.get(&prim) {
+            return v;
+        }
+        let v = self.sat.new_var();
+        self.prim_vars.insert(prim.clone(), v);
+        self.prims.push((prim.clone(), v));
+        if prim.0.kind == ConKind::Eq {
+            // Eager case split: ¬(e = 0) → (e < 0 ∨ e > 0), plus mutual
+            // exclusions for fast propagation.
+            let (lt, gt) = eq_split(&prim.0);
+            let lv = self.prim_var(Prim(lt));
+            let gv = self.prim_var(Prim(gt));
+            self.sat
+                .add_clause([Lit::pos(v), Lit::pos(lv), Lit::pos(gv)]);
+            self.sat.add_clause([Lit::neg(v), Lit::neg(lv)]);
+            self.sat.add_clause([Lit::neg(v), Lit::neg(gv)]);
+            self.sat.add_clause([Lit::neg(lv), Lit::neg(gv)]);
+        }
+        v
+    }
+
+    fn encode_atom(&mut self, atom: &Atom) -> Result<Lit, NonLinearError> {
+        Ok(match normalize(atom)? {
+            NormAtom::Const(true) => self.true_lit(),
+            NormAtom::Const(false) => !self.true_lit(),
+            NormAtom::Prim { prim, positive } => {
+                let v = self.prim_var(prim);
+                Lit::new(v, positive)
+            }
+        })
+    }
+
+    /// Tseitin encoding: returns a literal equivalent to `f`.
+    fn encode(&mut self, f: &Formula) -> Result<Lit, NonLinearError> {
+        Ok(match f {
+            Formula::True => self.true_lit(),
+            Formula::False => !self.true_lit(),
+            Formula::Atom(a) => self.encode_atom(a)?,
+            Formula::Not(inner) => !self.encode(inner)?,
+            Formula::And(parts) => {
+                let lits = parts
+                    .iter()
+                    .map(|p| self.encode(p))
+                    .collect::<Result<Vec<Lit>, _>>()?;
+                let aux = self.sat.new_var();
+                let a = Lit::pos(aux);
+                for &l in &lits {
+                    self.sat.add_clause([!a, l]);
+                }
+                let mut big: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                big.push(a);
+                self.sat.add_clause(big);
+                a
+            }
+            Formula::Or(parts) => {
+                let lits = parts
+                    .iter()
+                    .map(|p| self.encode(p))
+                    .collect::<Result<Vec<Lit>, _>>()?;
+                let aux = self.sat.new_var();
+                let a = Lit::pos(aux);
+                // a → (l₁ ∨ … ∨ lₙ)
+                let mut big: Vec<Lit> = lits.clone();
+                big.insert(0, !a);
+                self.sat.add_clause(big);
+                // each lᵢ → a
+                for &l in &lits {
+                    self.sat.add_clause([!l, a]);
+                }
+                a
+            }
+        })
+    }
+}
+
+impl SmtSolver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> SmtSolver {
+        SmtSolver {
+            config: SmtConfig::new(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SmtConfig) -> SmtSolver {
+        SmtSolver { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SmtConfig {
+        &self.config
+    }
+
+    /// Conjoins functional-consistency (Ackermann) clauses for every pair
+    /// of same-symbol applications in `f`.
+    fn ackermannize(f: &Formula) -> Formula {
+        let apps = f.apps();
+        let mut out = f.clone();
+        for i in 0..apps.len() {
+            for j in (i + 1)..apps.len() {
+                let (Term::App(fi, ai), Term::App(fj, aj)) = (&apps[i], &apps[j]) else {
+                    continue;
+                };
+                if fi != fj || ai.len() != aj.len() {
+                    continue;
+                }
+                let mut clause: Vec<Formula> = ai
+                    .iter()
+                    .zip(aj.iter())
+                    .map(|(a, b)| Formula::atom(Atom::ne(a.clone(), b.clone())))
+                    .collect();
+                clause.push(Formula::atom(Atom::eq(apps[i].clone(), apps[j].clone())));
+                out = out.and(Formula::disj(clause));
+            }
+        }
+        out
+    }
+
+    /// Decides satisfiability of a quantifier-free formula.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonLinearError`] if the formula contains a term outside
+    /// the linear theory (non-constant multiplication, division,
+    /// remainder). Callers are expected to have eliminated those via
+    /// concretization or uninterpreted functions first — that is the whole
+    /// point of the paper.
+    pub fn check(&self, formula: &Formula) -> Result<SmtResult, NonLinearError> {
+        let full = Self::ackermannize(&formula.nnf());
+
+        let mut enc = Encoder::new();
+        let top = enc.encode(&full)?;
+        enc.sat.add_clause([top]);
+
+        for _round in 0..self.config.max_rounds {
+            match enc.sat.solve() {
+                SatResult::Unsat => return Ok(SmtResult::Unsat),
+                SatResult::Sat(bmodel) => {
+                    // Gather asserted theory constraints, remembering the
+                    // boolean literal that asserted each.
+                    let mut constraints: Vec<IntConstraint> = Vec::new();
+                    let mut asserting: Vec<Lit> = Vec::new();
+                    for (prim, var) in &enc.prims {
+                        let assigned = bmodel[*var as usize];
+                        match prim.0.kind {
+                            ConKind::Eq => {
+                                if assigned {
+                                    constraints.push(prim.0.clone());
+                                    asserting.push(Lit::neg(*var));
+                                }
+                                // Negative equality contributes nothing:
+                                // the eager split clauses force one of the
+                                // strict sides instead.
+                            }
+                            ConKind::Le => {
+                                if assigned {
+                                    constraints.push(prim.0.clone());
+                                    asserting.push(Lit::neg(*var));
+                                } else {
+                                    constraints.push(negate_le(&prim.0));
+                                    asserting.push(Lit::pos(*var));
+                                }
+                            }
+                        }
+                    }
+                    match solve_int(&constraints, &self.config.lia) {
+                        LiaResult::Sat(assign) => {
+                            let model = Self::build_model(&full, &assign);
+                            debug_assert_eq!(full.eval(&model), Some(true));
+                            return Ok(SmtResult::Sat(model));
+                        }
+                        LiaResult::Unknown => return Ok(SmtResult::Unknown),
+                        LiaResult::Unsat { core } => {
+                            if asserting.is_empty() {
+                                // No theory atoms at all: boolean SAT is final.
+                                let model =
+                                    Self::build_model(&full, &std::collections::BTreeMap::new());
+                                return Ok(SmtResult::Sat(model));
+                            }
+                            // Prefer the provenance core from the theory
+                            // solver; fall back to deletion-based
+                            // minimization when branching or artificial
+                            // bounds were involved.
+                            let core = match core {
+                                Some(c) => c,
+                                None => self.minimize_core(&constraints),
+                            };
+                            let blocking: Vec<Lit> = core.iter().map(|&i| asserting[i]).collect();
+                            enc.sat.add_clause(blocking);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SmtResult::Unknown)
+    }
+
+    /// Deletion-based unsat-core minimization: returns indices of a
+    /// (locally minimal) subset of `constraints` that is still
+    /// unsatisfiable. Small cores make the blocking clauses strong, which
+    /// keeps the lazy refinement loop from enumerating exponentially many
+    /// boolean assignments.
+    fn minimize_core(&self, constraints: &[IntConstraint]) -> Vec<usize> {
+        let mut core: Vec<usize> = (0..constraints.len()).collect();
+        // Cap the minimization work on very large assertion sets.
+        if constraints.len() > 96 {
+            return core;
+        }
+        // Feasibility checks only — no need to polish models.
+        let lia = crate::lia::LiaConfig {
+            prefer_small: false,
+            ..self.config.lia
+        };
+        let mut i = 0;
+        while i < core.len() {
+            let candidate: Vec<IntConstraint> = core
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &k)| constraints[k].clone())
+                .collect();
+            if solve_int(&candidate, &lia).is_unsat() {
+                core.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        core
+    }
+
+    /// Builds a [`Model`] from a LIA assignment: variables first, then
+    /// applications innermost-first so argument evaluation is total.
+    fn build_model(full: &Formula, assign: &std::collections::BTreeMap<LinKey, i64>) -> Model {
+        let mut model = Model::new();
+        for v in full.vars() {
+            let value = assign.get(&LinKey::Var(v)).copied().unwrap_or(0);
+            model.set_var(v, Value::Int(value));
+        }
+        for app in full.apps() {
+            let Term::App(f, args) = &app else {
+                continue;
+            };
+            let arg_vals: Vec<i64> = args
+                .iter()
+                .map(|a| a.eval(&model).expect("argument evaluation is total"))
+                .collect();
+            let value = assign.get(&LinKey::App(app.clone())).copied().unwrap_or(0);
+            if let Some(prev) = model.apply(*f, &arg_vals) {
+                debug_assert_eq!(
+                    prev, value,
+                    "Ackermann clauses must enforce functional consistency"
+                );
+            } else {
+                model.set_func_entry(*f, arg_vals, value);
+            }
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotg_logic::{Rel, Signature, Sort, Var};
+
+    fn setup() -> (Signature, Var, Var, hotg_logic::FuncSym) {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        let h = sig.declare_func("h", 1);
+        (sig, x, y, h)
+    }
+
+    fn solve(f: &Formula) -> SmtResult {
+        SmtSolver::new().check(f).expect("linear formula")
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert!(solve(&Formula::True).is_sat());
+        assert_eq!(solve(&Formula::False), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn simple_equality() {
+        let (_, x, _, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::int(42)));
+        match solve(&f) {
+            SmtResult::Sat(m) => assert_eq!(m.var(x), Some(Value::Int(42))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_equalities() {
+        let (_, x, _, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::int(1)))
+            .and(Formula::atom(Atom::eq(Term::var(x), Term::int(2))));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn disequality_chain() {
+        let (_, x, _, _) = setup();
+        // x ≠ 0 ∧ x ≥ 0 ∧ x ≤ 1  ⇒  x = 1.
+        let f = Formula::atom(Atom::ne(Term::var(x), Term::int(0)))
+            .and(Formula::atom(Atom::new(
+                Term::var(x),
+                Rel::Ge,
+                Term::int(0),
+            )))
+            .and(Formula::atom(Atom::new(
+                Term::var(x),
+                Rel::Le,
+                Term::int(1),
+            )));
+        match solve(&f) {
+            SmtResult::Sat(m) => assert_eq!(m.var(x), Some(Value::Int(1))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_window_unsat() {
+        let (_, x, _, _) = setup();
+        // 0 < x < 2 ∧ x ≠ 1.
+        let f = Formula::atom(Atom::new(Term::var(x), Rel::Gt, Term::int(0)))
+            .and(Formula::atom(Atom::new(
+                Term::var(x),
+                Rel::Lt,
+                Term::int(2),
+            )))
+            .and(Formula::atom(Atom::ne(Term::var(x), Term::int(1))));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_picks_feasible_branch() {
+        let (_, x, _, _) = setup();
+        // (x = 1 ∧ x = 2) ∨ x = 7.
+        let bad = Formula::atom(Atom::eq(Term::var(x), Term::int(1)))
+            .and(Formula::atom(Atom::eq(Term::var(x), Term::int(2))));
+        let good = Formula::atom(Atom::eq(Term::var(x), Term::int(7)));
+        match solve(&bad.or(good)) {
+            SmtResult::Sat(m) => assert_eq!(m.var(x), Some(Value::Int(7))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_of_conjunction() {
+        let (_, x, y, _) = setup();
+        // ¬(x = 0 ∧ y = 0) ∧ x = 0  ⇒  y ≠ 0.
+        let inner = Formula::atom(Atom::eq(Term::var(x), Term::int(0)))
+            .and(Formula::atom(Atom::eq(Term::var(y), Term::int(0))));
+        let f =
+            Formula::Not(Box::new(inner)).and(Formula::atom(Atom::eq(Term::var(x), Term::int(0))));
+        match solve(&f) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.var(x), Some(Value::Int(0)));
+                assert_ne!(m.var(y), Some(Value::Int(0)));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uf_app_as_unknown() {
+        let (_, x, y, h) = setup();
+        // x = h(y): satisfiable, with the model inventing h.
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::app(h, vec![Term::var(y)])));
+        match solve(&f) {
+            SmtResult::Sat(m) => {
+                let hy = Term::app(h, vec![Term::var(y)]);
+                assert_eq!(Term::var(x).eval(&m), hy.eval(&m));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn functional_consistency_enforced() {
+        let (_, x, y, h) = setup();
+        // x = y ∧ h(x) ≠ h(y) is UNSAT by congruence.
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::var(y))).and(Formula::atom(Atom::ne(
+            Term::app(h, vec![Term::var(x)]),
+            Term::app(h, vec![Term::var(y)]),
+        )));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn functional_consistency_with_arithmetic() {
+        let (_, x, y, h) = setup();
+        // x = y + 1 ∧ y = 4 ∧ h(x) ≠ h(5): UNSAT since x must be 5.
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::var(y) + Term::int(1)))
+            .and(Formula::atom(Atom::eq(Term::var(y), Term::int(4))))
+            .and(Formula::atom(Atom::ne(
+                Term::app(h, vec![Term::var(x)]),
+                Term::app(h, vec![Term::int(5)]),
+            )));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn samples_pin_uf_values() {
+        let (_, x, y, h) = setup();
+        // h(42) = 567 ∧ y = 42 ∧ x = h(y)  ⇒  x = 567.
+        let f = Formula::atom(Atom::eq(Term::app(h, vec![Term::int(42)]), Term::int(567)))
+            .and(Formula::atom(Atom::eq(Term::var(y), Term::int(42))))
+            .and(Formula::atom(Atom::eq(
+                Term::var(x),
+                Term::app(h, vec![Term::var(y)]),
+            )));
+        match solve(&f) {
+            SmtResult::Sat(m) => assert_eq!(m.var(x), Some(Value::Int(567))),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example1_sound_concretization_unsat() {
+        // The paper's Example 1: y = 42 ∧ x = 567 ∧ y = 10 is UNSAT.
+        let (_, x, y, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(y), Term::int(42)))
+            .and(Formula::atom(Atom::eq(Term::var(x), Term::int(567))))
+            .and(Formula::atom(Atom::eq(Term::var(y), Term::int(10))));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn multi_arg_function() {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let g = sig.declare_func("g", 2);
+        // g(x, 1) = 5 ∧ g(2, 1) = 6 ∧ x = 2: UNSAT by congruence.
+        let f = Formula::atom(Atom::eq(
+            Term::app(g, vec![Term::var(x), Term::int(1)]),
+            Term::int(5),
+        ))
+        .and(Formula::atom(Atom::eq(
+            Term::app(g, vec![Term::int(2), Term::int(1)]),
+            Term::int(6),
+        )))
+        .and(Formula::atom(Atom::eq(Term::var(x), Term::int(2))));
+        assert_eq!(solve(&f), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn nested_applications() {
+        let (_, x, _, h) = setup();
+        // h(h(x)) = 5 ∧ h(x) = x  ⇒  h(x) = 5 ∧ x = 5 consistent:
+        // x = 5, h(5) = 5.
+        let hx = Term::app(h, vec![Term::var(x)]);
+        let hhx = Term::app(h, vec![hx.clone()]);
+        let f = Formula::atom(Atom::eq(hhx.clone(), Term::int(5)))
+            .and(Formula::atom(Atom::eq(hx.clone(), Term::var(x))));
+        match solve(&f) {
+            SmtResult::Sat(m) => {
+                assert_eq!(hhx.eval(&m), Some(5));
+                assert_eq!(hx.eval(&m), Term::var(x).eval(&m));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_reports_error() {
+        let (_, x, y, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(x) * Term::var(y), Term::int(6)));
+        assert!(SmtSolver::new().check(&f).is_err());
+    }
+
+    #[test]
+    fn model_covers_all_apps() {
+        let (_, x, y, h) = setup();
+        let f = Formula::atom(Atom::eq(
+            Term::app(h, vec![Term::var(x)]),
+            Term::app(h, vec![Term::var(y)]) + Term::int(1),
+        ));
+        match solve(&f) {
+            SmtResult::Sat(m) => {
+                assert_eq!(f.eval(&m), Some(true));
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Brute-force cross-validation of the SMT solver on random
+//! quantifier-free linear formulas over a boxed domain.
+
+use hotg_logic::{Atom, Formula, Model, Rel, Signature, Sort, Term, Value, Var};
+use hotg_solver::{SmtResult, SmtSolver};
+use proptest::prelude::*;
+
+const BOX: i64 = 6;
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-10i64..=10).prop_map(Term::int),
+        Just(Term::var(Var(0))),
+        Just(Term::var(Var(1))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), -4i64..=4).prop_map(|(a, k)| a * Term::int(k)),
+        ]
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    let rel = prop_oneof![
+        Just(Rel::Eq),
+        Just(Rel::Ne),
+        Just(Rel::Lt),
+        Just(Rel::Le),
+        Just(Rel::Gt),
+        Just(Rel::Ge),
+    ];
+    (arb_term(), rel, arb_term()).prop_map(|(l, r, t)| Formula::atom(Atom::new(l, r, t)))
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    arb_atom().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| Formula::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn boxed(f: Formula) -> Formula {
+    let mut out = f;
+    for v in [Var(0), Var(1)] {
+        out = out
+            .and(Formula::atom(Atom::new(
+                Term::var(v),
+                Rel::Ge,
+                Term::int(-BOX),
+            )))
+            .and(Formula::atom(Atom::new(
+                Term::var(v),
+                Rel::Le,
+                Term::int(BOX),
+            )));
+    }
+    out
+}
+
+fn brute_force_sat(f: &Formula) -> bool {
+    let mut m = Model::new();
+    for x in -BOX..=BOX {
+        for y in -BOX..=BOX {
+            m.set_var(Var(0), Value::Int(x));
+            m.set_var(Var(1), Value::Int(y));
+            if f.eval(&m) == Some(true) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// On the boxed domain, the solver's verdict matches exhaustive
+    /// enumeration, and returned models satisfy the formula.
+    #[test]
+    fn smt_matches_brute_force(f in arb_formula()) {
+        let mut sig = Signature::new();
+        sig.declare_var("x", Sort::Int);
+        sig.declare_var("y", Sort::Int);
+        let g = boxed(f);
+        let expected = brute_force_sat(&g);
+        match SmtSolver::new().check(&g).expect("linear formula") {
+            SmtResult::Sat(model) => {
+                prop_assert!(expected, "solver SAT but domain has no witness");
+                prop_assert_eq!(
+                    g.eval(&model),
+                    Some(true),
+                    "model does not satisfy the formula"
+                );
+                // The model respects the box.
+                for v in [Var(0), Var(1)] {
+                    if let Some(Value::Int(x)) = model.var(v) {
+                        prop_assert!((-BOX..=BOX).contains(&x));
+                    }
+                }
+            }
+            SmtResult::Unsat => {
+                prop_assert!(!expected, "solver UNSAT but witness exists");
+            }
+            SmtResult::Unknown => {} // budget; acceptable, no verdict
+        }
+    }
+}

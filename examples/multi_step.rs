@@ -1,0 +1,47 @@
+//! Multi-step test generation (the paper's Example 7): watch the engine
+//! run an *intermediate probe* to learn `hash(10)` before it can finish
+//! interpreting the strategy `y := 10, x := hash(10)`.
+//!
+//! ```text
+//! cargo run --release --example multi_step
+//! ```
+
+use higher_order_testgen::core::{Driver, DriverConfig, Origin, Technique};
+use hotg_lang::corpus;
+
+fn main() {
+    let (program, natives) = corpus::foo();
+    println!("program foo (paper §3.2):");
+    println!("  if (x == hash(y)) {{ if (y == 10) {{ error(1); }} }}\n");
+
+    // The paper's starting point: x = 33, y = 42 with hash(42) = 567.
+    let config = DriverConfig::with_initial(vec![33, 42]);
+    let driver = Driver::new(&program, &natives, config);
+    let report = driver.run(Technique::HigherOrder);
+
+    for (i, run) in report.runs.iter().enumerate() {
+        let kind = match &run.origin {
+            Origin::Initial => "initial".to_string(),
+            Origin::Seed => "seed".to_string(),
+            Origin::Random => "random".to_string(),
+            Origin::Solved { target } => format!("solved flip of {target}"),
+            Origin::Strategy { target, strategy } => {
+                format!("strategy for {target}: {strategy}")
+            }
+            Origin::Probe { target } => format!("probe for {target}"),
+        };
+        println!(
+            "run {i}: (x={}, y={}) -> {:?}   [{kind}]",
+            run.inputs[0], run.inputs[1], run.outcome
+        );
+    }
+
+    println!();
+    println!("probes executed: {}", report.probes);
+    println!("errors found:    {:?}", report.errors);
+    assert!(report.found_error(1));
+    assert!(
+        report.probes >= 1,
+        "Example 7 requires an intermediate test"
+    );
+}

@@ -1,0 +1,27 @@
+//! Side-by-side comparison of all four techniques on the whole paper
+//! corpus: the summary table behind Sections 3–5.
+//!
+//! ```text
+//! cargo run --release --example technique_shootout
+//! ```
+
+use higher_order_testgen::core::{comparison_table, Driver, DriverConfig, Technique};
+use hotg_lang::corpus;
+
+fn main() {
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        let config = DriverConfig {
+            max_runs: 40,
+            ..DriverConfig::with_initial(vec![5; width])
+        };
+        let reports: Vec<_> = Technique::ALL
+            .iter()
+            .map(|&t| Driver::new(&program, &natives, config.clone()).run(t))
+            .collect();
+        println!("== {name} ==");
+        print!("{}", comparison_table(&reports));
+        println!();
+    }
+}

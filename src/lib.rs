@@ -1,0 +1,44 @@
+//! # higher-order-testgen
+//!
+//! A complete Rust reproduction of Patrice Godefroid's *Higher-Order
+//! Test Generation* (PLDI 2011): test generation from **validity
+//! proofs** of first-order formulas with uninterpreted functions,
+//! together with every substrate the paper assumes — a small imperative
+//! language, a DART-style concolic engine, a from-scratch SMT solver,
+//! and the §7 lexer application.
+//!
+//! This facade crate re-exports the workspace members under stable
+//! names. See each module for the full API:
+//!
+//! * [`logic`] — terms, atoms, formulas, models, exact rationals;
+//! * [`sat`] — CDCL SAT solver;
+//! * [`solver`] — simplex + LIA + EUF + lazy DPLL(T), and the validity
+//!   engine that synthesizes test-generation strategies;
+//! * [`lang`] — the `mini` language and the paper's example corpus;
+//! * [`concolic`] — concolic execution with the paper's symbolic modes;
+//! * [`core`] — the directed-search drivers (random, DART variants,
+//!   higher-order with multi-step probing);
+//! * [`lexapp`] — the §7 keyword-lexer application.
+//!
+//! # Example
+//!
+//! ```
+//! use higher_order_testgen::core::{Driver, DriverConfig, Technique};
+//! use higher_order_testgen::lang::corpus;
+//!
+//! let (program, natives) = corpus::obscure();
+//! let driver = Driver::new(&program, &natives, DriverConfig::with_initial(vec![33, 42]));
+//! let report = driver.run(Technique::HigherOrder);
+//! assert!(report.found_error(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hotg_concolic as concolic;
+pub use hotg_core as core;
+pub use hotg_lang as lang;
+pub use hotg_lexapp as lexapp;
+pub use hotg_logic as logic;
+pub use hotg_sat as sat;
+pub use hotg_solver as solver;

@@ -1,0 +1,211 @@
+//! Shared helpers for the integration tests: a random `mini`-program
+//! generator (proptest strategies) and a model builder that interprets
+//! uninterpreted applications with the *real* native functions.
+//!
+//! Each integration-test binary compiles this module independently and
+//! uses a different subset of it.
+#![allow(dead_code)]
+
+use hotg_concolic::ConcolicContext;
+use hotg_lang::{BinOp, BranchId, Expr, NativeDecl, NativeRegistry, Param, Program, Stmt, UnOp};
+use hotg_logic::{Formula, Model, Term, Value};
+use proptest::prelude::*;
+
+/// The native function used by generated programs.
+pub fn test_natives() -> NativeRegistry {
+    let mut n = NativeRegistry::new();
+    n.register("f", 1, |args| {
+        (args[0].wrapping_mul(37).wrapping_add(11)).rem_euclid(1000)
+    });
+    n
+}
+
+/// The Rust-side interpretation of the generated programs' unknown
+/// functions, including the `@mul`/`@div`/`@mod` instruction symbols.
+pub fn real_interp(name: &str, args: &[i64]) -> Option<i64> {
+    match name {
+        "f" => Some((args[0].wrapping_mul(37).wrapping_add(11)).rem_euclid(1000)),
+        "@mul" => args[0].checked_mul(args[1]),
+        "@div" => {
+            if args[1] == 0 {
+                None
+            } else {
+                args[0].checked_div(args[1])
+            }
+        }
+        "@mod" => {
+            if args[1] == 0 {
+                None
+            } else {
+                args[0].checked_rem(args[1])
+            }
+        }
+        _ => None,
+    }
+}
+
+const INPUTS: [&str; 3] = ["x", "y", "z"];
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-20i64..=20).prop_map(Expr::Int),
+        (0usize..3).prop_map(|i| Expr::Var(INPUTS[i].to_string())),
+    ]
+}
+
+/// Call-free, multiplication-free expressions: safe operands for `*`.
+///
+/// Theorem 4 presumes the *same* imprecision sites in both engine modes.
+/// A multiplication whose operand contains a call (or another symbolic
+/// multiplication) breaks that premise: sound concretization turns the
+/// inner unknown into a constant and keeps the outer product linear,
+/// while the uninterpreted mode abstracts the outer product too — see
+/// `theorem4_boundary` in `hotg-core` for the concrete counterexample.
+fn mul_safe_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Add, Box::new(a), Box::new(b)) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b)) }),
+            inner.prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a))),
+        ]
+    })
+}
+
+fn int_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Add, Box::new(a), Box::new(b)) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Sub, Box::new(a), Box::new(b)) }),
+            (mul_safe_expr(), mul_safe_expr())
+                .prop_map(|(a, b)| { Expr::Binary(BinOp::Mul, Box::new(a), Box::new(b)) }),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a))),
+            inner.prop_map(|a| Expr::Call("f".to_string(), vec![a])),
+        ]
+    })
+}
+
+fn cond_expr() -> impl Strategy<Value = Expr> {
+    let cmp = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ];
+    (int_expr(), cmp, int_expr()).prop_map(|(a, op, b)| Expr::Binary(op, Box::new(a), Box::new(b)))
+}
+
+/// Statements over the three fixed inputs; assignments only target
+/// inputs, so scoping is trivially valid.
+fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            (0usize..3, int_expr()).prop_map(|(i, e)| Stmt::Assign(INPUTS[i].to_string(), e)),
+            (1i64..=4).prop_map(Stmt::Error),
+            Just(Stmt::Return),
+        ]
+        .boxed()
+    } else {
+        let body = proptest::collection::vec(stmt(depth - 1), 1..3);
+        prop_oneof![
+            3 => (0usize..3, int_expr())
+                .prop_map(|(i, e)| Stmt::Assign(INPUTS[i].to_string(), e)),
+            2 => (cond_expr(), body.clone(), proptest::collection::vec(stmt(depth - 1), 0..2))
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                    id: BranchId(0), // renumbered below
+                    cond,
+                    then_branch,
+                    else_branch,
+                }),
+            1 => (1i64..=4).prop_map(Stmt::Error),
+        ]
+        .boxed()
+    }
+}
+
+fn renumber(stmts: &mut [Stmt], next: &mut u32) {
+    for s in stmts {
+        match s {
+            Stmt::If {
+                id,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                *id = BranchId(*next);
+                *next += 1;
+                renumber(then_branch, next);
+                renumber(else_branch, next);
+            }
+            Stmt::While { id, body, .. } => {
+                *id = BranchId(*next);
+                *next += 1;
+                renumber(body, next);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A random loop-free program over inputs `x, y, z` and native `f/1`.
+pub fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(stmt(2), 1..5).prop_map(|mut body| {
+        let mut next = 0;
+        renumber(&mut body, &mut next);
+        let program = Program {
+            name: "generated".to_string(),
+            params: INPUTS
+                .iter()
+                .map(|n| Param::Scalar(n.to_string()))
+                .collect(),
+            natives: vec![NativeDecl {
+                name: "f".to_string(),
+                arity: 1,
+            }],
+            functions: Vec::new(),
+            body,
+            branch_count: next,
+        };
+        hotg_lang::check(&program).expect("generated programs are well-formed");
+        program
+    })
+}
+
+/// Random input vectors in a small range.
+pub fn arb_inputs() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-25i64..=25, 3)
+}
+
+/// Builds a [`Model`] assigning the given inputs and interpreting every
+/// application of `formula` with the *real* functions. Returns `None` if
+/// some application faults (e.g. division by zero).
+pub fn model_with_real_functions(
+    ctx: &ConcolicContext,
+    inputs: &[i64],
+    formula: &Formula,
+) -> Option<Model> {
+    let mut model = Model::new();
+    for (i, v) in ctx.input_vars().iter().enumerate() {
+        model.set_var(*v, Value::Int(inputs[i]));
+    }
+    for app in formula.apps() {
+        let Term::App(fsym, args) = &app else {
+            continue;
+        };
+        let vals: Vec<i64> = args
+            .iter()
+            .map(|a| a.eval(&model))
+            .collect::<Option<Vec<i64>>>()?;
+        let name = ctx.sig().func_name(*fsym);
+        let out = real_interp(name, &vals)?;
+        model.set_func_entry(*fsym, vals, out);
+    }
+    Some(model)
+}

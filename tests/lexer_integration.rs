@@ -1,0 +1,72 @@
+//! APP-LEXER: the §7 comparison, asserted end-to-end.
+
+use hotg_core::Technique;
+use hotg_lexapp::{campaign, full_comparison, LexerVariant};
+
+#[test]
+fn higher_order_fully_parses_fixed_lexer() {
+    let out = campaign(LexerVariant::Fixed, Technique::HigherOrder, 60);
+    assert!(out.full_parse, "{}", out.report);
+    assert_eq!(out.depth, 3);
+    // Coverage is total: every direction of every branch.
+    assert_eq!(
+        out.report.covered_directions(),
+        2 * out.report.branch_sites as usize
+    );
+}
+
+#[test]
+fn baselines_defeated_by_the_lexer() {
+    for technique in [
+        Technique::Random,
+        Technique::DartUnsound,
+        Technique::DartSound,
+        Technique::DartSoundDelayed,
+    ] {
+        let out = campaign(LexerVariant::Fixed, technique, 60);
+        assert_eq!(
+            out.depth, 0,
+            "{technique} should be stuck at the lexer: {}",
+            out.report
+        );
+    }
+}
+
+#[test]
+fn scanning_variant_full_parse() {
+    let out = campaign(LexerVariant::Scanning, Technique::HigherOrder, 60);
+    assert!(out.full_parse, "{}", out.report);
+    for technique in [Technique::Random, Technique::DartUnsound] {
+        let other = campaign(LexerVariant::Scanning, technique, 60);
+        assert!(
+            !other.full_parse,
+            "{technique} must not reach `if end`: {}",
+            other.report
+        );
+    }
+}
+
+#[test]
+fn comparison_tables_consistent() {
+    let (outcomes, table) = full_comparison(LexerVariant::Fixed, 30);
+    assert_eq!(outcomes.len(), Technique::ALL.len());
+    let hotg = outcomes
+        .iter()
+        .find(|o| o.report.technique == Technique::HigherOrder)
+        .expect("higher-order outcome present");
+    let best_other = outcomes
+        .iter()
+        .filter(|o| {
+            !matches!(
+                o.report.technique,
+                Technique::HigherOrder | Technique::HigherOrderCompositional
+            )
+        })
+        .map(|o| o.depth)
+        .max()
+        .unwrap();
+    assert!(
+        hotg.depth > best_other,
+        "higher-order must beat all baselines:\n{table}"
+    );
+}

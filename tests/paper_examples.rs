@@ -1,0 +1,39 @@
+//! Cross-crate claim check: every worked example of the paper must
+//! reproduce (the same table the `experiments` binary prints).
+
+#[test]
+fn all_paper_example_claims_reproduce() {
+    let rows = hotg_bench::paper_examples();
+    let failures: Vec<String> = rows
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| {
+            format!(
+                "{} {} [{}]: {} (measured {})",
+                r.id, r.program, r.technique, r.claim, r.measured
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "paper claims failed to reproduce:\n{}",
+        failures.join("\n")
+    );
+    // The table covers every example of Sections 1, 3 and 5.
+    for id in [
+        "S1-OBSCURE",
+        "S3.2-FOO",
+        "EX1",
+        "EX2",
+        "EX3",
+        "EX4",
+        "EX5",
+        "EX6",
+        "EX7",
+    ] {
+        assert!(
+            rows.iter().any(|r| r.id == id),
+            "experiment {id} missing from the table"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Theorem 4 (Simulation Theorem), tested extensionally: on randomly
+//! generated programs, whenever the sound-concretization search covers a
+//! branch direction or finds an error, the higher-order search does too.
+//!
+//! The theorem states that if `ALT(pc^SC)` is satisfiable then
+//! `POST(ALT(pc^UF))` is valid — i.e. higher-order test generation can
+//! always follow where sound concretization leads (§5.2). Campaign-level
+//! domination is the observable consequence.
+
+mod common;
+
+use common::{arb_program, test_natives};
+use hotg_core::{Driver, DriverConfig, Technique};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn higher_order_dominates_sound_concretization(
+        program in arb_program(),
+        seed in proptest::collection::vec(-10i64..=10, 3),
+    ) {
+        let natives = test_natives();
+        let config = DriverConfig {
+            max_runs: 12,
+            ..DriverConfig::with_initial(seed)
+        };
+        let sound = Driver::new(&program, &natives, config.clone())
+            .run(Technique::DartSound);
+        let hotg = Driver::new(&program, &natives, config)
+            .run(Technique::HigherOrder);
+
+        prop_assert!(
+            hotg.covered_directions() >= sound.covered_directions(),
+            "HOTG covered {} < sound {}",
+            hotg.covered_directions(),
+            sound.covered_directions()
+        );
+        for code in sound.errors.keys() {
+            prop_assert!(
+                hotg.found_error(*code),
+                "sound found error {code}, HOTG did not"
+            );
+        }
+        // Both are sound: no divergences, ever (Theorems 2–3).
+        prop_assert_eq!(sound.divergences, 0);
+        prop_assert_eq!(hotg.divergences, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for Theorems 2 and 3 of the paper: path constraints
+//! generated with *sound concretization* and with *uninterpreted
+//! functions* are sound — every input assignment satisfying `pc` (under
+//! the real interpretation of the unknown functions) drives the program
+//! along the same path.
+
+mod common;
+
+use common::{arb_inputs, arb_program, model_with_real_functions, test_natives};
+use hotg_concolic::{execute, ConcolicContext, SymbolicMode};
+use hotg_lang::{run, InputVector};
+use proptest::prelude::*;
+
+const FUEL: u64 = 50_000;
+
+fn soundness_check(
+    program: &hotg_lang::Program,
+    seed_inputs: &[i64],
+    candidate: &[i64],
+    mode: SymbolicMode,
+) -> Result<(), TestCaseError> {
+    let natives = test_natives();
+    let ctx = ConcolicContext::new(program);
+    let base = execute(
+        &ctx,
+        program,
+        &natives,
+        &InputVector::new(seed_inputs.to_vec()),
+        mode,
+        FUEL,
+    );
+    let pc = base.pc.formula();
+    let Some(model) = model_with_real_functions(&ctx, candidate, &pc) else {
+        return Ok(()); // an application faulted under the candidate; vacuous
+    };
+    if pc.eval(&model) != Some(true) {
+        return Ok(()); // candidate does not satisfy pc; nothing to check
+    }
+    // The candidate satisfies the path constraint: by Theorems 2/3 it must
+    // follow the same execution path.
+    let (_, trace) = run(
+        program,
+        &natives,
+        &InputVector::new(candidate.to_vec()),
+        FUEL,
+    );
+    prop_assert_eq!(
+        &trace.branches,
+        &base.trace.branches,
+        "soundness violated in {:?} mode for candidate {:?} (seed {:?}); pc = {}",
+        mode,
+        candidate,
+        seed_inputs,
+        pc.display(ctx.sig())
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2: sound concretization yields sound path constraints.
+    #[test]
+    fn theorem2_sound_concretization(
+        program in arb_program(),
+        seed in arb_inputs(),
+        candidate in arb_inputs(),
+    ) {
+        soundness_check(&program, &seed, &candidate, SymbolicMode::SoundConcretize)?;
+    }
+
+    /// Theorem 3: uninterpreted-function path constraints are sound.
+    #[test]
+    fn theorem3_uninterpreted(
+        program in arb_program(),
+        seed in arb_inputs(),
+        candidate in arb_inputs(),
+    ) {
+        soundness_check(&program, &seed, &candidate, SymbolicMode::Uninterpreted)?;
+    }
+
+    /// The generating inputs themselves always satisfy their own pc
+    /// (completeness on the diagonal) in every mode, under the real
+    /// function interpretation.
+    #[test]
+    fn pc_reflexivity(program in arb_program(), seed in arb_inputs()) {
+        let natives = test_natives();
+        let ctx = ConcolicContext::new(&program);
+        for mode in SymbolicMode::ALL {
+            let base = execute(
+                &ctx,
+                &program,
+                &natives,
+                &InputVector::new(seed.clone()),
+                mode,
+                FUEL,
+            );
+            let pc = base.pc.formula();
+            if let Some(model) = model_with_real_functions(&ctx, &seed, &pc) {
+                prop_assert_eq!(
+                    pc.eval(&model),
+                    Some(true),
+                    "pc must hold on its own inputs ({:?} mode): {}",
+                    mode,
+                    pc.display(ctx.sig())
+                );
+            }
+        }
+    }
+}
