@@ -1,0 +1,126 @@
+//! `hotg-lint`: static diagnostics for `mini` programs.
+//!
+//! ```text
+//! hotg-lint [--json] <file.mini>      lint a source file
+//! hotg-lint [--json] --corpus <name>  lint a built-in corpus program
+//! hotg-lint --corpus-list             list corpus program names
+//! ```
+//!
+//! Human output is one diagnostic per line
+//! (`warning[HA002] at 4:13: …`); `--json` emits the array encoding of
+//! [`hotg_analysis::json`]. Exit status: 0 on success (even with
+//! warnings), 1 when the program fails parsing or static checking, 2 on
+//! usage errors.
+
+use hotg_analysis::{analyze, json, lint, Diagnostic};
+use hotg_lang::{check, corpus, parse, Program};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hotg-lint [--json] <file.mini>");
+    eprintln!("       hotg-lint [--json] --corpus <name>");
+    eprintln!("       hotg-lint --corpus-list");
+    ExitCode::from(2)
+}
+
+fn emit(diags: &[Diagnostic], as_json: bool) {
+    if as_json {
+        println!("{}", json::to_json(diags));
+    } else {
+        for d in diags {
+            println!("{d}");
+        }
+    }
+}
+
+fn load(source: &Source) -> Result<Program, Diagnostic> {
+    match source {
+        Source::File(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                Diagnostic::new(
+                    hotg_analysis::Severity::Error,
+                    hotg_analysis::DiagCode("HC002"),
+                    hotg_analysis::Span::UNKNOWN,
+                    format!("cannot read `{path}`: {e}"),
+                )
+            })?;
+            let program = parse(&text).map_err(|e| {
+                Diagnostic::new(
+                    hotg_analysis::Severity::Error,
+                    hotg_analysis::DiagCode("HC004"),
+                    hotg_analysis::Span::new(e.line, 1),
+                    e.message.clone(),
+                )
+            })?;
+            check(&program).map_err(|e| e.diagnostic)?;
+            Ok(program)
+        }
+        Source::Corpus(name) => {
+            let build = corpus::all()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| b)
+                .ok_or_else(|| {
+                    Diagnostic::new(
+                        hotg_analysis::Severity::Error,
+                        hotg_analysis::DiagCode("HC002"),
+                        hotg_analysis::Span::UNKNOWN,
+                        format!("unknown corpus program `{name}`"),
+                    )
+                })?;
+            Ok(build().0)
+        }
+    }
+}
+
+enum Source {
+    File(String),
+    Corpus(String),
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut as_json = false;
+    let mut source = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => as_json = true,
+            "--corpus-list" => {
+                for (name, _) in corpus::all() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--corpus" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    return usage();
+                };
+                source = Some(Source::Corpus(name.clone()));
+            }
+            flag if flag.starts_with("--") => return usage(),
+            path => {
+                if source.is_some() {
+                    return usage();
+                }
+                source = Some(Source::File(path.to_string()));
+            }
+        }
+        i += 1;
+    }
+    let Some(source) = source else {
+        return usage();
+    };
+    match load(&source) {
+        Ok(program) => {
+            let result = analyze(&program);
+            emit(&lint(&program, &result), as_json);
+            ExitCode::SUCCESS
+        }
+        Err(diag) => {
+            emit(&[diag], as_json);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal hand-rolled JSON encoding of diagnostics (the toolchain has
+//! no serialization dependency). The format is a flat array of objects:
+//!
+//! ```json
+//! [{"severity":"warning","code":"HA002","line":4,"col":13,"message":"…"}]
+//! ```
+//!
+//! [`to_json`] and [`from_json`] round-trip exactly for every diagnostic
+//! whose code is one of the known `HC###`/`HA###` codes.
+
+use hotg_lang::{DiagCode, Diagnostic, Severity, Span};
+
+/// The closed set of diagnostic codes (codes are `&'static str`, so
+/// parsing must intern into this table).
+const KNOWN_CODES: &[&str] = &[
+    "HC001", "HC002", "HC003", "HC004", "HC005", "HC006", // checker
+    "HA001", "HA002", "HA003", "HA004", "HA005", // analysis lints
+];
+
+fn intern_code(s: &str) -> Option<DiagCode> {
+    KNOWN_CODES.iter().find(|&&k| k == s).map(|&k| DiagCode(k))
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes diagnostics as a JSON array (stable field order).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"line\":{},\"col\":{},\"message\":\"",
+            d.severity.label(),
+            d.code,
+            d.span.line,
+            d.span.col
+        ));
+        escape(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push(']');
+    out
+}
+
+/// Parses the output of [`to_json`] back into diagnostics.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem, unknown field,
+/// unknown severity, or unknown code.
+pub fn from_json(src: &str) -> Result<Vec<Diagnostic>, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            out.push(p.object()?);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => p.skip_ws(),
+                Some(b']') => break,
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing input after array".to_string());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            v = v * 16 + d;
+                        }
+                        out.push(char::from_u32(v).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode a UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "bad UTF-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected number".to_string());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn object(&mut self) -> Result<Diagnostic, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut severity = None;
+        let mut code = None;
+        let mut line = None;
+        let mut col = None;
+        let mut message = None;
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "severity" => {
+                    let s = self.string()?;
+                    severity =
+                        Some(Severity::from_label(&s).ok_or(format!("unknown severity `{s}`"))?);
+                }
+                "code" => {
+                    let s = self.string()?;
+                    code = Some(intern_code(&s).ok_or(format!("unknown code `{s}`"))?);
+                }
+                "line" => line = Some(self.number()?),
+                "col" => col = Some(self.number()?),
+                "message" => message = Some(self.string()?),
+                other => return Err(format!("unknown field `{other}`")),
+            }
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+        Ok(Diagnostic {
+            severity: severity.ok_or("missing severity")?,
+            code: code.ok_or("missing code")?,
+            span: Span {
+                line: line.ok_or("missing line")?,
+                col: col.ok_or("missing col")?,
+            },
+            message: message.ok_or("missing message")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                Severity::Warning,
+                DiagCode("HA002"),
+                Span::new(4, 13),
+                "condition is always false",
+            ),
+            Diagnostic::new(
+                Severity::Info,
+                DiagCode("HA005"),
+                Span::UNKNOWN,
+                "quotes \" backslash \\ newline \n tab \t unicode é",
+            ),
+            Diagnostic::new(Severity::Error, DiagCode("HC004"), Span::new(1, 1), ""),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let diags = sample();
+        let json = to_json(&diags);
+        let back = from_json(&json).unwrap();
+        assert_eq!(diags, back);
+        // And the serialization is itself stable.
+        assert_eq!(to_json(&back), json);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        assert_eq!(from_json(&to_json(&[])).unwrap(), Vec::new());
+        assert_eq!(from_json(" [ ] ").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_json("").is_err());
+        assert!(from_json("[{}]").is_err());
+        assert!(from_json("[{\"severity\":\"fatal\"}]").is_err());
+        assert!(from_json(
+            "[{\"severity\":\"error\",\"code\":\"ZZ999\",\"line\":1,\"col\":1,\"message\":\"m\"}]"
+        )
+        .is_err());
+        assert!(from_json("[] trailing").is_err());
+    }
+
+    #[test]
+    fn parses_whitespace_variants() {
+        let json = "[ {\"severity\": \"warning\", \"code\": \"HA001\", \"line\": 2, \"col\": 3, \"message\": \"m\"} ]";
+        let d = from_json(json).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].span, Span::new(2, 3));
+    }
+}

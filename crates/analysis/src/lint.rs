@@ -1,0 +1,86 @@
+//! The lint layer: turns [`AnalysisResult`] facts into structured
+//! [`Diagnostic`]s.
+//!
+//! | code    | severity | meaning                                        |
+//! |---------|----------|------------------------------------------------|
+//! | `HA001` | warning  | branch condition is always true                |
+//! | `HA002` | warning  | branch condition is always false               |
+//! | `HA003` | warning  | unreachable statement                          |
+//! | `HA004` | warning  | native call site is never executed             |
+//! | `HA005` | info     | native call site has constant arguments        |
+
+use crate::domain::Constancy;
+use crate::fixpoint::{AnalysisResult, SiteClass};
+use hotg_lang::{BranchId, DiagCode, Diagnostic, Program, Severity};
+
+/// Produces lint diagnostics for `program` from its analysis `result`,
+/// ordered by source position (unknown spans last), then by code.
+pub fn lint(program: &Program, result: &AnalysisResult) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for id in 0..result.branch_count() {
+        let id = BranchId(id as u32);
+        let fact = result.branch(id);
+        if !fact.reached {
+            // The enclosing statement is already reported via HA003.
+            continue;
+        }
+        let span = program.spans.branch_span(id);
+        match fact.constancy {
+            Constancy::AlwaysTrue => out.push(Diagnostic::new(
+                Severity::Warning,
+                DiagCode("HA001"),
+                span,
+                format!("condition at branch {id} is always true"),
+            )),
+            Constancy::AlwaysFalse => out.push(Diagnostic::new(
+                Severity::Warning,
+                DiagCode("HA002"),
+                span,
+                format!("condition at branch {id} is always false"),
+            )),
+            Constancy::Unknown => {}
+        }
+    }
+    for &id in result.dead_stmts() {
+        out.push(Diagnostic::new(
+            Severity::Warning,
+            DiagCode("HA003"),
+            program.spans.stmt_span(id),
+            format!("statement {id} is unreachable"),
+        ));
+    }
+    for site in result.native_sites() {
+        let span = program.spans.stmt_span(site.stmt);
+        match &site.class {
+            SiteClass::Dead => out.push(Diagnostic::new(
+                Severity::Warning,
+                DiagCode("HA004"),
+                span,
+                format!("native call site `{}` (site {}) is never executed", site.name, site.site),
+            )),
+            SiteClass::ConstArgs(args) => out.push(Diagnostic::new(
+                Severity::Info,
+                DiagCode("HA005"),
+                span,
+                format!(
+                    "native `{}` (site {}) is always called with constant arguments ({}) and can be pre-sampled",
+                    site.name,
+                    site.site,
+                    args.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )),
+            SiteClass::InputDependent => {}
+        }
+    }
+    out.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            let known = d.span.is_known();
+            (!known, d.span, d.code, d.message.clone())
+        };
+        key(a).cmp(&key(b))
+    });
+    out
+}

@@ -226,6 +226,23 @@ pub fn paper_examples() -> Vec<ExperimentRow> {
         });
     }
 
+    // Static oracle (`hotg-analysis`): on the lint showcase program the
+    // driver prunes the statically-decided inner branch's flip target
+    // before any validity query and pre-samples `hash(7)`, while still
+    // finding the error behind `x == hash(7) + 1`.
+    let r = run("lint_demo", vec![0], Technique::HigherOrder);
+    rows.push(ExperimentRow {
+        id: "STATIC-ORCL",
+        program: "lint_demo",
+        technique: Technique::HigherOrder,
+        claim: "oracle prunes targets, pre-samples, keeps errors",
+        measured: format!(
+            "pruned={} presampled={} errors={:?}",
+            r.targets_pruned_static, r.presampled_sites, r.errors
+        ),
+        pass: r.targets_pruned_static >= 1 && r.presampled_sites == 1 && r.found_error(1),
+    });
+
     // §3.3 final remark: delayed concretization variant.
     let r = run("delayed", vec![33, 42], Technique::DartSound);
     rows.push(ExperimentRow {

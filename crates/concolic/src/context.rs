@@ -2,9 +2,9 @@
 //! symbolic variables and unknown functions/instructions to uninterpreted
 //! function symbols.
 
-use hotg_lang::{BinOp, Param, Program};
+use hotg_lang::{BinOp, BranchId, Param, Program};
 use hotg_logic::{FuncSym, Signature, Sort, Term, Var};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Symbol context shared by all runs of one program.
 ///
@@ -23,6 +23,12 @@ pub struct ConcolicContext {
     op_mul: FuncSym,
     op_div: FuncSym,
     op_mod: FuncSym,
+    /// Static per-branch input-taint sets (flat input indices), from
+    /// `hotg-analysis`. The executor cross-checks, at every branch push,
+    /// that the free variables of the dynamic branch constraint are a
+    /// subset of this set (debug builds) — the taint sets bound which
+    /// inputs Theorem 2's sound concretization may ever need to pin.
+    branch_taint: Vec<BTreeSet<usize>>,
 }
 
 impl ConcolicContext {
@@ -56,6 +62,10 @@ impl ConcolicContext {
         let op_mul = sig.declare_func("@mul", 2);
         let op_div = sig.declare_func("@div", 2);
         let op_mod = sig.declare_func("@mod", 2);
+        let analysis = hotg_analysis::analyze(program);
+        let branch_taint = (0..program.branch_count)
+            .map(|i| analysis.taint_of(BranchId(i)).clone())
+            .collect();
         ConcolicContext {
             sig,
             input_vars,
@@ -64,6 +74,7 @@ impl ConcolicContext {
             op_mul,
             op_div,
             op_mod,
+            branch_taint,
         }
     }
 
@@ -100,6 +111,15 @@ impl ConcolicContext {
     /// `true` if the symbol stands for a defined (summarizable) function.
     pub fn is_defined_sym(&self, f: FuncSym) -> bool {
         self.defined.values().any(|&d| d == f)
+    }
+
+    /// The static input-taint set of conditional site `id`: an
+    /// over-approximation (from `hotg-analysis`) of the flat input
+    /// indices the branch condition can depend on. Empty for sites in
+    /// statically dead code.
+    pub fn static_branch_taint(&self, id: BranchId) -> &BTreeSet<usize> {
+        static EMPTY: BTreeSet<usize> = BTreeSet::new();
+        self.branch_taint.get(id.0 as usize).unwrap_or(&EMPTY)
     }
 
     /// The uninterpreted symbol modelling a non-linear instruction.

@@ -567,7 +567,7 @@ impl Executor<'_> {
     ) -> Result<(i64, Term), Halt> {
         let mut fenv = hotg_lang::Env::new();
         let mut fsenv = SymEnv::new();
-        for ((p, v), t) in def.params.iter().zip(cvals.iter()).zip(terms.into_iter()) {
+        for ((p, v), t) in def.params.iter().zip(cvals.iter()).zip(terms) {
             fenv.declare(p.clone(), Slot::Scalar(*v));
             fsenv.declare(p.clone(), SymSlot::Scalar(t));
         }
@@ -648,6 +648,26 @@ impl Executor<'_> {
         }))
     }
 
+    /// Debug-only soundness cross-check: the free input variables of a
+    /// dynamic branch constraint must be covered by the static taint set
+    /// `hotg-analysis` computed for the site. A violation means the
+    /// static analysis under-approximated — which would let the driver
+    /// prune a feasible branch-flip target.
+    fn check_static_taint(&self, id: hotg_lang::BranchId, oriented: &Formula) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let taint = self.ctx.static_branch_taint(id);
+        for v in oriented.vars() {
+            assert!(
+                taint.contains(&v.index()),
+                "static taint violation at branch {id}: dynamic constraint \
+                 mentions input {} but the static set is {taint:?}",
+                v.index(),
+            );
+        }
+    }
+
     fn block(&mut self, body: &[Stmt], fuel: &mut u64) -> Result<Flow, String> {
         for s in body {
             if *fuel == 0 {
@@ -702,13 +722,13 @@ impl Executor<'_> {
                             *slot = v;
                         }
                         Some(Slot::Scalar(_)) => {
-                            return Err(format!("cannot index scalar `{name}`").into())
+                            return Err(format!("cannot index scalar `{name}`"))
                         }
                         None => return Err(format!("assignment to unbound `{name}`")),
                     }
                     match self.senv.get_mut(name) {
                         Some(SymSlot::Array(items)) => items[i as usize] = val_term,
-                        _ => return Err(format!("unbound symbolic array `{name}`").into()),
+                        _ => return Err(format!("unbound symbolic array `{name}`")),
                     }
                 }
                 Stmt::If {
@@ -726,6 +746,7 @@ impl Executor<'_> {
                         if self.mode == SymbolicMode::SoundConcretizeDelayed {
                             oriented = self.delayed_concretize(&oriented);
                         }
+                        self.check_static_taint(*id, &oriented);
                         // Entries with concretely-determined conditions are
                         // kept (constraint `true`) so that expected paths line
                         // up one-to-one with the runtime branch trace.
@@ -758,6 +779,7 @@ impl Executor<'_> {
                         if self.mode == SymbolicMode::SoundConcretizeDelayed {
                             oriented = self.delayed_concretize(&oriented);
                         }
+                        self.check_static_taint(*id, &oriented);
                         self.pc.push_branch(oriented, *id, taken);
                     }
                     if !taken {

@@ -84,6 +84,13 @@ pub struct DriverConfig {
     /// over time by starting the testing session with a representative
     /// set of well-formed inputs").
     pub seed_corpus: Vec<Vec<i64>>,
+    /// Use the `hotg-analysis` static results as a search oracle: drop
+    /// branch-flip targets whose flipped direction is statically
+    /// infeasible (before any solver/validity query), and pre-sample
+    /// native call sites whose arguments are statically constant into the
+    /// initial `IOF` table. Sound — the analysis over-approximates, so
+    /// only targets no execution can reach are dropped.
+    pub static_pruning: bool,
 }
 
 impl Default for DriverConfig {
@@ -98,6 +105,7 @@ impl Default for DriverConfig {
             max_probes_per_target: 3,
             initial_inputs: None,
             seed_corpus: Vec::new(),
+            static_pruning: true,
         }
     }
 }
@@ -131,6 +139,7 @@ mod tests {
         assert!(c.fuel > 0);
         assert!(c.random_range.0 <= c.random_range.1);
         assert!(c.cross_run_samples);
+        assert!(c.static_pruning);
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
     }

@@ -17,6 +17,7 @@
 use crate::config::{DriverConfig, Technique};
 use crate::report::{Origin, Report, RunRecord};
 use crate::summaries::{SummaryConfig, SummaryTable};
+use hotg_analysis::{analyze, AnalysisResult, SiteClass};
 use hotg_concolic::{
     diverged, execute_opts, ConcolicContext, ConcolicRun, PathConstraint, SymbolicMode,
 };
@@ -47,6 +48,7 @@ pub struct Driver<'p> {
     program: &'p Program,
     natives: &'p NativeRegistry,
     ctx: ConcolicContext,
+    analysis: AnalysisResult,
     config: DriverConfig,
 }
 
@@ -61,6 +63,7 @@ impl<'p> Driver<'p> {
             program,
             natives,
             ctx: ConcolicContext::new(program),
+            analysis: analyze(program),
             config,
         }
     }
@@ -68,6 +71,11 @@ impl<'p> Driver<'p> {
     /// The symbolic context (signature, input variables).
     pub fn ctx(&self) -> &ConcolicContext {
         &self.ctx
+    }
+
+    /// The static analysis results used as the search oracle.
+    pub fn analysis(&self) -> &AnalysisResult {
+        &self.analysis
     }
 
     /// Runs a campaign with the given technique and returns its report.
@@ -100,6 +108,8 @@ impl<'p> Driver<'p> {
             probes: 0,
             solver_calls: 0,
             rejected_targets: 0,
+            targets_pruned_static: 0,
+            presampled_sites: 0,
             branch_sites: self.program.branch_count,
             elapsed: std::time::Duration::ZERO,
         }
@@ -207,6 +217,16 @@ impl<'p> Driver<'p> {
             if run.pc.entries[j].constraint == Formula::True {
                 continue;
             }
+            // Static oracle: if the analysis proves the flipped direction
+            // can never execute (constant branch condition), skip the
+            // target without spending a solver/validity query on it.
+            if self.config.static_pruning {
+                let (id, taken) = run.pc.entries[j].branch.expect("branch entry");
+                if self.analysis.flip_infeasible(id, !taken) {
+                    report.targets_pruned_static += 1;
+                    continue;
+                }
+            }
             worklist.push_back(Target {
                 parent_inputs: inputs.clone(),
                 pc: run.pc.clone(),
@@ -249,6 +269,26 @@ impl<'p> Driver<'p> {
         let mut samples_acc = Samples::new();
         let smt = SmtSolver::with_config(self.config.validity.smt);
         let validity = ValidityChecker::with_config(self.config.validity);
+
+        // UF-placement oracle: native call sites whose arguments are
+        // statically constant always evaluate the same application, so
+        // their input/output pair can be put into the `IOF` table before
+        // the first run — a validity proof may then use the pair without
+        // a probe execution (Figure 3's sampled table, filled eagerly).
+        if self.config.static_pruning {
+            for site in self.analysis.native_sites() {
+                let SiteClass::ConstArgs(args) = &site.class else {
+                    continue;
+                };
+                let Some(fsym) = self.ctx.native_sym(&site.name) else {
+                    continue;
+                };
+                if let Ok(out) = self.natives.call(&site.name, args) {
+                    samples_acc.record(fsym, args.clone(), out);
+                    report.presampled_sites += 1;
+                }
+            }
+        }
 
         let initial = self.initial_inputs(&mut rng);
         self.execute_and_expand(

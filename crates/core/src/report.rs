@@ -70,6 +70,12 @@ pub struct Report {
     pub solver_calls: usize,
     /// Search targets proved infeasible/invalid (no test generated).
     pub rejected_targets: usize,
+    /// Targets dropped by the static oracle *before* any solver or
+    /// validity query (`DriverConfig::static_pruning`).
+    pub targets_pruned_static: usize,
+    /// Native call sites with statically-constant arguments whose
+    /// input/output pair was pre-sampled into the initial `IOF` table.
+    pub presampled_sites: usize,
     /// Total branch sites of the program (for coverage ratios).
     pub branch_sites: u32,
     /// Wall-clock duration of the campaign.
@@ -139,7 +145,8 @@ impl fmt::Display for Report {
         writeln!(
             f,
             "{} on {}: {} runs ({} probes), {}/{} directions covered, \
-             errors {:?}, {} divergences, {} rejected targets, {} solver calls",
+             errors {:?}, {} divergences, {} rejected targets, {} solver calls, \
+             {} pruned statically, {} pre-sampled sites",
             self.technique,
             self.program,
             self.total_runs(),
@@ -150,6 +157,8 @@ impl fmt::Display for Report {
             self.divergences,
             self.rejected_targets,
             self.solver_calls,
+            self.targets_pruned_static,
+            self.presampled_sites,
         )
     }
 }
@@ -159,12 +168,22 @@ impl fmt::Display for Report {
 pub fn comparison_table(reports: &[Report]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<18} {:>5} {:>7} {:>9} {:>7} {:>9} {:>8} {:>9}  {}\n",
-        "technique", "runs", "probes", "coverage", "diverg", "rejected", "solver", "time", "errors"
+        "{:<18} {:>5} {:>7} {:>9} {:>7} {:>9} {:>8} {:>7} {:>7} {:>9}  {}\n",
+        "technique",
+        "runs",
+        "probes",
+        "coverage",
+        "diverg",
+        "rejected",
+        "solver",
+        "pruned",
+        "presmp",
+        "time",
+        "errors"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:<18} {:>5} {:>7} {:>6}/{:<2} {:>7} {:>9} {:>8} {:>7}ms  {:?}\n",
+            "{:<18} {:>5} {:>7} {:>6}/{:<2} {:>7} {:>9} {:>8} {:>7} {:>7} {:>7}ms  {:?}\n",
             r.technique.label(),
             r.total_runs(),
             r.probes,
@@ -173,6 +192,8 @@ pub fn comparison_table(reports: &[Report]) -> String {
             r.divergences,
             r.rejected_targets,
             r.solver_calls,
+            r.targets_pruned_static,
+            r.presampled_sites,
             r.elapsed.as_millis(),
             r.errors.keys().collect::<Vec<_>>(),
         ));
@@ -201,6 +222,8 @@ mod tests {
             probes: 0,
             solver_calls: 2,
             rejected_targets: 1,
+            targets_pruned_static: 0,
+            presampled_sites: 0,
             branch_sites: 1,
             elapsed: std::time::Duration::from_millis(1),
         }

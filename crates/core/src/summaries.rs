@@ -99,6 +99,8 @@ impl SummaryTable {
                 functions: program.functions.clone(),
                 body: def.body.clone(),
                 branch_count: program.branch_count,
+
+                spans: Default::default(),
             };
             let fsym = caller_ctx
                 .defined_sym(&def.name)

@@ -1,0 +1,84 @@
+//! Acceptance test for the static search oracle: with
+//! `static_pruning: true` the driver issues strictly fewer
+//! solver/validity queries over the paper corpus while discovering the
+//! exact same error sets.
+//!
+//! Soundness argument for the per-program assertions: pruning only
+//! removes worklist targets whose flipped direction the analysis proved
+//! infeasible; every such target would have been rejected by the solver
+//! anyway, so the executed-run sequence is unchanged.
+
+use hotg_core::{Driver, DriverConfig, Technique};
+use hotg_lang::corpus;
+
+fn config(width: usize, pruning: bool) -> DriverConfig {
+    DriverConfig {
+        max_runs: 25,
+        static_pruning: pruning,
+        ..DriverConfig::with_initial(vec![0; width])
+    }
+}
+
+#[test]
+fn pruning_saves_queries_and_preserves_errors() {
+    for technique in [Technique::DartSound, Technique::HigherOrder] {
+        let mut calls_on = 0usize;
+        let mut calls_off = 0usize;
+        let mut pruned_total = 0usize;
+        for (name, ctor) in corpus::all() {
+            let (program, natives) = ctor();
+            let width = program.input_width();
+            let on = Driver::new(&program, &natives, config(width, true)).run(technique);
+            let off = Driver::new(&program, &natives, config(width, false)).run(technique);
+            assert_eq!(
+                on.errors.keys().collect::<Vec<_>>(),
+                off.errors.keys().collect::<Vec<_>>(),
+                "{technique} on {name}: pruning changed the discovered errors"
+            );
+            assert!(
+                on.solver_calls <= off.solver_calls,
+                "{technique} on {name}: pruning increased solver calls \
+                 ({} vs {})",
+                on.solver_calls,
+                off.solver_calls
+            );
+            assert_eq!(
+                off.targets_pruned_static, 0,
+                "{technique} on {name}: counter must stay zero when disabled"
+            );
+            calls_on += on.solver_calls;
+            calls_off += off.solver_calls;
+            pruned_total += on.targets_pruned_static;
+        }
+        assert!(
+            calls_on < calls_off,
+            "{technique}: expected strictly fewer solver calls with the \
+             static oracle ({calls_on} vs {calls_off})"
+        );
+        assert!(pruned_total >= 1, "{technique}: no target was ever pruned");
+    }
+}
+
+#[test]
+fn lint_demo_prunes_and_presamples() {
+    let (program, natives) = corpus::lint_demo();
+    let driver = Driver::new(&program, &natives, config(1, true));
+    let report = driver.run(Technique::HigherOrder);
+    // `x = 0` reaches the statically-decided inner branch, whose flip
+    // target is dropped before any validity query.
+    assert!(report.targets_pruned_static >= 1, "{report}");
+    // `hash(7)` has constant arguments and is pre-sampled.
+    assert_eq!(report.presampled_sites, 1, "{report}");
+    // The oracle never hides the real error behind `x == hash(7) + 1`.
+    assert!(report.found_error(1), "{report}");
+}
+
+#[test]
+fn presampling_is_off_when_disabled() {
+    let (program, natives) = corpus::lint_demo();
+    let driver = Driver::new(&program, &natives, config(1, false));
+    let report = driver.run(Technique::HigherOrder);
+    assert_eq!(report.presampled_sites, 0);
+    assert_eq!(report.targets_pruned_static, 0);
+    assert!(report.found_error(1), "{report}");
+}

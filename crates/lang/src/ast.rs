@@ -228,6 +228,48 @@ pub struct Program {
     pub body: Vec<Stmt>,
     /// Number of conditional sites (branch ids are `0..branch_count`).
     pub branch_count: u32,
+    /// Source spans recorded by the parser ([`Span::UNKNOWN`] lookups for
+    /// hand-built ASTs). Ignored by `PartialEq`: spans are metadata.
+    ///
+    /// [`Span::UNKNOWN`]: crate::diag::Span::UNKNOWN
+    pub spans: crate::diag::SpanTable,
+}
+
+/// Enumerates every statement of a program in pre-order — function bodies
+/// first in declaration order, then the program body; within a body each
+/// statement precedes its nested blocks (`then` before `else`) — paired
+/// with its [`StmtId`].
+///
+/// This is the numbering under which the parser records statement spans
+/// ([`crate::diag::SpanTable::stmt_span`]) and under which `hotg-analysis`
+/// reports per-statement facts, so all three stay aligned by
+/// construction.
+///
+/// [`StmtId`]: crate::diag::StmtId
+pub fn stmt_ids(program: &Program) -> Vec<(crate::diag::StmtId, &Stmt)> {
+    fn walk<'p>(stmts: &'p [Stmt], out: &mut Vec<(crate::diag::StmtId, &'p Stmt)>) {
+        for s in stmts {
+            out.push((crate::diag::StmtId(out.len() as u32), s));
+            match s {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+                Stmt::While { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for f in &program.functions {
+        walk(&f.body, &mut out);
+    }
+    walk(&program.body, &mut out);
+    out
 }
 
 impl Program {
@@ -258,11 +300,7 @@ impl Program {
         fn walk(stmts: &[Stmt], out: &mut Vec<i64>) {
             for s in stmts {
                 match s {
-                    Stmt::Error(c) => {
-                        if !out.contains(c) {
-                            out.push(*c);
-                        }
-                    }
+                    Stmt::Error(c) if !out.contains(c) => out.push(*c),
                     Stmt::If {
                         then_branch,
                         else_branch,
@@ -330,11 +368,50 @@ mod tests {
                 Stmt::Error(1),
             ],
             branch_count: 1,
+            spans: Default::default(),
         };
         assert_eq!(p.input_width(), 5);
         assert!(p.native("hash").is_some());
         assert!(p.native("nope").is_none());
         assert_eq!(p.error_codes(), vec![1, 2]);
         assert_eq!(p.params[1].name(), "buf");
+    }
+
+    #[test]
+    fn stmt_ids_pre_order() {
+        // fn f: [return v]   body: [if { error } else { return }, return]
+        let p = crate::parser::parse(
+            r#"
+            fn f(v: int) { return v; }
+            program t(x: int) {
+                if (x == f(x)) { error(1); } else { return; }
+                return;
+            }
+            "#,
+        )
+        .unwrap();
+        let ids = stmt_ids(&p);
+        assert_eq!(ids.len(), 5);
+        // Sequential pre-order numbering.
+        for (i, (id, _)) in ids.iter().enumerate() {
+            assert_eq!(id.0 as usize, i);
+        }
+        // Function body first, then the program body's `if` (then/else
+        // children before the trailing `return`).
+        assert!(matches!(ids[0].1, Stmt::ReturnValue(_)));
+        assert!(matches!(ids[1].1, Stmt::If { .. }));
+        assert!(matches!(ids[2].1, Stmt::Error(1)));
+        assert!(matches!(ids[3].1, Stmt::Return));
+        assert!(matches!(ids[4].1, Stmt::Return));
+        // The parser recorded exactly one span per statement, in the same
+        // order (monotone source lines).
+        assert_eq!(p.spans.stmt_count(), ids.len());
+        let lines: Vec<u32> = (0..ids.len())
+            .map(|i| p.spans.stmt_span(crate::diag::StmtId(i as u32)).line)
+            .collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "statement spans in pre-order: {lines:?}");
+        assert!(lines.iter().all(|&l| l > 0));
     }
 }

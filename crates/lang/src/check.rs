@@ -1,20 +1,60 @@
 //! Static checking for `mini` programs: scoping, kinds (scalar vs array),
 //! boolean/integer contexts, and native call arities.
+//!
+//! Checker failures carry a structured [`Diagnostic`] with a stable
+//! `HC###` code and, for parsed programs, the source span of the
+//! statement being checked:
+//!
+//! | code    | meaning                                         |
+//! |---------|-------------------------------------------------|
+//! | `HC001` | duplicate declaration (param, local, callable)  |
+//! | `HC002` | use of an undeclared name                       |
+//! | `HC003` | scalar/array kind misuse                        |
+//! | `HC004` | boolean/integer type mismatch                   |
+//! | `HC005` | call arity mismatch                             |
+//! | `HC006` | function rules (returns, declaration order)     |
 
 use crate::ast::{Expr, Param, Program, Stmt, UnOp};
+use crate::diag::{DiagCode, Diagnostic, Severity, Span, StmtId};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Error produced by the static checker.
+/// Error produced by the static checker: a [`Diagnostic`] with severity
+/// [`Severity::Error`], an `HC###` code, and the span of the statement
+/// being checked ([`Span::UNKNOWN`] for span-free ASTs and errors in
+/// declaration headers).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckError {
-    /// Explanation.
-    pub message: String,
+    /// The structured diagnostic.
+    pub diagnostic: Diagnostic,
+}
+
+impl CheckError {
+    fn new(code: &'static str, span: Span, message: impl Into<String>) -> CheckError {
+        CheckError {
+            diagnostic: Diagnostic::new(Severity::Error, DiagCode(code), span, message),
+        }
+    }
+
+    /// Human-readable explanation (without code/span).
+    pub fn message(&self) -> &str {
+        &self.diagnostic.message
+    }
+
+    /// Stable `HC###` code.
+    pub fn code(&self) -> DiagCode {
+        self.diagnostic.code
+    }
+
+    /// Source span of the offending statement.
+    pub fn span(&self) -> Span {
+        self.diagnostic.span
+    }
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "check error: {}", self.message)
+        write!(f, "check error: {}", self.diagnostic)
     }
 }
 
@@ -38,6 +78,12 @@ struct Checker<'p> {
     /// Inside a function body: value returns required, plain `return`
     /// forbidden; calls may only reach earlier-declared functions.
     in_function: Option<usize>,
+    /// Pre-order index of the next statement ([`StmtId`] numbering: the
+    /// checker visits function bodies in declaration order, then the
+    /// program body — the same order as [`crate::ast::stmt_ids`]).
+    next_stmt: u32,
+    /// Span of the statement currently being checked, for diagnostics.
+    cur_span: Span,
 }
 
 /// Statically checks a program.
@@ -62,6 +108,8 @@ pub fn check(program: &Program) -> Result<(), CheckError> {
         program,
         scopes: vec![HashMap::new()],
         in_function: None,
+        next_stmt: 0,
+        cur_span: Span::UNKNOWN,
     };
     // Parameters form the outermost scope.
     for p in &program.params {
@@ -70,54 +118,67 @@ pub fn check(program: &Program) -> Result<(), CheckError> {
             Param::Array(n, len) => (n.clone(), Kind::Array(*len)),
         };
         if checker.scopes[0].insert(name.clone(), kind).is_some() {
-            return Err(CheckError {
-                message: format!("duplicate parameter `{name}`"),
-            });
+            return Err(CheckError::new(
+                "HC001",
+                Span::UNKNOWN,
+                format!("duplicate parameter `{name}`"),
+            ));
         }
     }
     // Native and function names must be unique and disjoint.
     let mut callable_names = std::collections::HashSet::new();
     for n in &program.natives {
         if !callable_names.insert(n.name.clone()) {
-            return Err(CheckError {
-                message: format!("duplicate native declaration `{}`", n.name),
-            });
+            return Err(CheckError::new(
+                "HC001",
+                Span::UNKNOWN,
+                format!("duplicate native declaration `{}`", n.name),
+            ));
         }
     }
     for f in &program.functions {
         if !callable_names.insert(f.name.clone()) {
-            return Err(CheckError {
-                message: format!("duplicate callable name `{}`", f.name),
-            });
+            return Err(CheckError::new(
+                "HC001",
+                Span::UNKNOWN,
+                format!("duplicate callable name `{}`", f.name),
+            ));
         }
     }
     // Function bodies: own scopes, declaration-order calls only (this
-    // rules out recursion syntactically).
+    // rules out recursion syntactically). The pre-order statement
+    // counter runs across function checkers so diagnostics can look up
+    // spans by StmtId.
+    let mut next_stmt = 0;
     for (idx, f) in program.functions.iter().enumerate() {
         let mut fscope = HashMap::new();
         for p in &f.params {
             if fscope.insert(p.clone(), Kind::Scalar).is_some() {
-                return Err(CheckError {
-                    message: format!("duplicate parameter `{p}` in fn `{}`", f.name),
-                });
+                return Err(CheckError::new(
+                    "HC001",
+                    Span::UNKNOWN,
+                    format!("duplicate parameter `{p}` in fn `{}`", f.name),
+                ));
             }
         }
         let mut fchecker = Checker {
             program,
             scopes: vec![fscope],
             in_function: Some(idx),
+            next_stmt,
+            cur_span: Span::UNKNOWN,
         };
         fchecker.stmts(&f.body)?;
+        next_stmt = fchecker.next_stmt;
     }
+    checker.next_stmt = next_stmt;
     checker.stmts(&program.body)?;
     Ok(())
 }
 
 impl Checker<'_> {
-    fn err<T>(&self, message: impl Into<String>) -> Result<T, CheckError> {
-        Err(CheckError {
-            message: message.into(),
-        })
+    fn err<T>(&self, code: &'static str, message: impl Into<String>) -> Result<T, CheckError> {
+        Err(CheckError::new(code, self.cur_span, message))
     }
 
     fn lookup(&self, name: &str) -> Option<Kind> {
@@ -127,7 +188,10 @@ impl Checker<'_> {
     fn declare(&mut self, name: &str, kind: Kind) -> Result<(), CheckError> {
         let scope = self.scopes.last_mut().expect("scope stack nonempty");
         if scope.insert(name.to_string(), kind).is_some() {
-            return self.err(format!("duplicate declaration of `{name}` in this scope"));
+            return self.err(
+                "HC001",
+                format!("duplicate declaration of `{name}` in this scope"),
+            );
         }
         Ok(())
     }
@@ -147,6 +211,10 @@ impl Checker<'_> {
     }
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), CheckError> {
+        // Visit order matches `stmt_ids` pre-order numbering, so the
+        // span table (recorded in parse order) lines up by index.
+        self.cur_span = self.program.spans.stmt_span(StmtId(self.next_stmt));
+        self.next_stmt += 1;
         match s {
             Stmt::Let(name, e) => {
                 self.expect_ty(e, Ty::Int)?;
@@ -157,17 +225,19 @@ impl Checker<'_> {
                 match self.lookup(name) {
                     Some(Kind::Scalar) => {}
                     Some(Kind::Array(_)) => {
-                        return self.err(format!("cannot assign whole array `{name}`"))
+                        return self.err("HC003", format!("cannot assign whole array `{name}`"))
                     }
-                    None => return self.err(format!("assignment to undeclared `{name}`")),
+                    None => return self.err("HC002", format!("assignment to undeclared `{name}`")),
                 }
                 self.expect_ty(e, Ty::Int)
             }
             Stmt::AssignIndex(name, idx, val) => {
                 match self.lookup(name) {
                     Some(Kind::Array(_)) => {}
-                    Some(Kind::Scalar) => return self.err(format!("cannot index scalar `{name}`")),
-                    None => return self.err(format!("assignment to undeclared `{name}`")),
+                    Some(Kind::Scalar) => {
+                        return self.err("HC003", format!("cannot index scalar `{name}`"))
+                    }
+                    None => return self.err("HC002", format!("assignment to undeclared `{name}`")),
                 }
                 self.expect_ty(idx, Ty::Int)?;
                 self.expect_ty(val, Ty::Int)
@@ -189,13 +259,13 @@ impl Checker<'_> {
             Stmt::Error(_) => Ok(()),
             Stmt::Return => {
                 if self.in_function.is_some() {
-                    return self.err("functions must return a value (`return expr;`)");
+                    return self.err("HC006", "functions must return a value (`return expr;`)");
                 }
                 Ok(())
             }
             Stmt::ReturnValue(e) => {
                 if self.in_function.is_none() {
-                    return self.err("the program body cannot return a value");
+                    return self.err("HC006", "the program body cannot return a value");
                 }
                 self.expect_ty(e, Ty::Int)
             }
@@ -205,9 +275,10 @@ impl Checker<'_> {
     fn expect_ty(&self, e: &Expr, want: Ty) -> Result<(), CheckError> {
         let got = self.ty(e)?;
         if got != want {
-            return self.err(format!(
-                "expected {want:?} expression, found {got:?}: {e:?}"
-            ));
+            return self.err(
+                "HC004",
+                format!("expected {want:?} expression, found {got:?}: {e:?}"),
+            );
         }
         Ok(())
     }
@@ -217,14 +288,18 @@ impl Checker<'_> {
             Expr::Int(_) => Ty::Int,
             Expr::Var(name) => match self.lookup(name) {
                 Some(Kind::Scalar) => Ty::Int,
-                Some(Kind::Array(_)) => return self.err(format!("array `{name}` used as scalar")),
-                None => return self.err(format!("use of undeclared variable `{name}`")),
+                Some(Kind::Array(_)) => {
+                    return self.err("HC003", format!("array `{name}` used as scalar"))
+                }
+                None => return self.err("HC002", format!("use of undeclared variable `{name}`")),
             },
             Expr::Index(name, idx) => {
                 match self.lookup(name) {
                     Some(Kind::Array(_)) => {}
-                    Some(Kind::Scalar) => return self.err(format!("cannot index scalar `{name}`")),
-                    None => return self.err(format!("use of undeclared array `{name}`")),
+                    Some(Kind::Scalar) => {
+                        return self.err("HC003", format!("cannot index scalar `{name}`"))
+                    }
+                    None => return self.err("HC002", format!("use of undeclared array `{name}`")),
                 }
                 self.expect_ty(idx, Ty::Int)?;
                 Ty::Int
@@ -261,20 +336,27 @@ impl Checker<'_> {
                     // Declaration-order calls only: rules out recursion.
                     if let Some(current) = self.in_function {
                         if pos >= current {
-                            return self.err(format!(
-                                "fn `{name}` must be declared before its caller                                  (recursion is not supported)"
-                            ));
+                            return self.err(
+                                "HC006",
+                                format!(
+                                    "fn `{name}` must be declared before its caller \
+                                     (recursion is not supported)"
+                                ),
+                            );
                         }
                     }
                     self.program.functions[pos].params.len()
                 } else {
-                    return self.err(format!("call to undeclared callable `{name}`"));
+                    return self.err("HC002", format!("call to undeclared callable `{name}`"));
                 };
                 if arity != args.len() {
-                    return self.err(format!(
-                        "callable `{name}` expects {arity} arguments, got {}",
-                        args.len()
-                    ));
+                    return self.err(
+                        "HC005",
+                        format!(
+                            "callable `{name}` expects {arity} arguments, got {}",
+                            args.len()
+                        ),
+                    );
                 }
                 for a in args {
                     self.expect_ty(a, Ty::Int)?;
@@ -313,33 +395,33 @@ mod tests {
     #[test]
     fn rejects_undeclared_variable() {
         let e = check_src("program t() { x = 1; }").unwrap_err();
-        assert!(e.message.contains("undeclared"));
+        assert!(e.message().contains("undeclared"));
         let e = check_src("program t() { let a = z; }").unwrap_err();
-        assert!(e.message.contains("undeclared"));
+        assert!(e.message().contains("undeclared"));
     }
 
     #[test]
     fn rejects_undeclared_native() {
         let e = check_src("program t(x: int) { let a = hash(x); }").unwrap_err();
-        assert!(e.message.contains("undeclared callable"));
+        assert!(e.message().contains("undeclared callable"));
     }
 
     #[test]
     fn rejects_arity_mismatch() {
         let e = check_src("native hash/2; program t(x: int) { let a = hash(x); }").unwrap_err();
-        assert!(e.message.contains("expects 2 arguments"));
+        assert!(e.message().contains("expects 2 arguments"));
     }
 
     #[test]
     fn rejects_bool_in_int_context() {
         let e = check_src("program t(x: int) { let a = (x == 1) + 2; }").unwrap_err();
-        assert!(e.message.contains("expected Int"));
+        assert!(e.message().contains("expected Int"));
     }
 
     #[test]
     fn rejects_int_condition() {
         let e = check_src("program t(x: int) { if (x) { } }").unwrap_err();
-        assert!(e.message.contains("expected Bool"));
+        assert!(e.message().contains("expected Bool"));
     }
 
     #[test]
@@ -378,7 +460,7 @@ mod tests {
             }"#,
         )
         .unwrap_err();
-        assert!(e.message.contains("undeclared"));
+        assert!(e.message().contains("undeclared"));
     }
 
     #[test]
@@ -423,6 +505,42 @@ mod tests {
             "fn a(v: int) { return v + 1; } fn b(v: int) { return a(v) * 2; } program t() { }",
         )
         .unwrap();
+    }
+
+    #[test]
+    fn diagnostics_carry_code_and_span() {
+        // `x = 1;` is the first statement, on line 2 column 5.
+        let e = check_src("program t() {\n    x = 1;\n}").unwrap_err();
+        assert_eq!(e.code(), crate::DiagCode("HC002"));
+        assert_eq!(e.span(), crate::Span::new(2, 5));
+        assert_eq!(e.diagnostic.severity, crate::Severity::Error);
+        assert!(e.to_string().contains("error[HC002] at 2:5"));
+
+        // Statement spans work inside nested blocks and functions too.
+        let e = check_src(
+            "fn f(v: int) {\n    return v;\n}\nprogram t(x: int) {\n    if (x > 0) {\n        let a = (x == 1) + 2;\n    }\n}",
+        )
+        .unwrap_err();
+        assert_eq!(e.code(), crate::DiagCode("HC004"));
+        assert_eq!(e.span(), crate::Span::new(6, 9));
+
+        // Representative codes per category.
+        let code = |src: &str| check_src(src).unwrap_err().code().0;
+        assert_eq!(code("program t() { let a = 1; let a = 2; }"), "HC001");
+        assert_eq!(code("program t(a: array[3]) { a = 1; }"), "HC003");
+        assert_eq!(
+            code("native h/2; program t(x: int) { let a = h(x); }"),
+            "HC005"
+        );
+        assert_eq!(code("fn f(v: int) { return; } program t() { }"), "HC006");
+
+        // Span-free ASTs degrade to unknown spans, not wrong ones.
+        let mut p = parse("program t() { }").unwrap();
+        p.spans = crate::SpanTable::new();
+        p.body
+            .push(crate::Stmt::Assign("x".into(), crate::Expr::Int(1)));
+        let e = check(&p).unwrap_err();
+        assert_eq!(e.span(), crate::Span::UNKNOWN);
     }
 
     #[test]

@@ -342,6 +342,40 @@ pub fn composed() -> (Program, NativeRegistry) {
     )
 }
 
+/// A purpose-built showcase for the static oracle (`hotg-analysis`):
+///
+/// * `if (a < 3)` with `a = 5` is **always false** — `hotg-lint` flags
+///   the branch (HA002) and the statement inside it (HA003);
+/// * `hash(7)` has statically **constant arguments** — the driver can
+///   pre-sample its input/output pair into the `IOF` table (HA005);
+/// * the inner `x < 100` under `x < 10` is **always true** — its flip
+///   target is statically infeasible and pruned before any solver call;
+/// * the error still requires inverting `hash`: `x == hash(7) + 1`.
+pub fn lint_demo() -> (Program, NativeRegistry) {
+    build(
+        r#"
+        native hash/1;
+        program lint_demo(x: int) {
+            let a = 5;
+            if (a < 3) {
+                let dead = a + 1;
+            }
+            let h = hash(7);
+            if (x < 10) {
+                if (x < 100) {
+                    let covered = x;
+                }
+            }
+            if (x == h + 1) {
+                error(1);
+            }
+            return;
+        }
+        "#,
+        hash_registry(),
+    )
+}
+
 /// A boundary counterexample for Theorem 4's implicit premise: in
 /// `0 == y * (z * x)`, sound concretization pins only the *inner* product
 /// (`z`, `x`) and keeps the outer product linear (`-30·y`), so it can
@@ -364,8 +398,11 @@ pub fn theorem4_boundary() -> (Program, NativeRegistry) {
     )
 }
 
+/// A named corpus entry: program name and its constructor.
+pub type CorpusEntry = (&'static str, fn() -> (Program, NativeRegistry));
+
 /// All named corpus entries (name, constructor) for table-driven tests.
-pub fn all() -> Vec<(&'static str, fn() -> (Program, NativeRegistry))> {
+pub fn all() -> Vec<CorpusEntry> {
     vec![
         ("obscure", obscure as fn() -> (Program, NativeRegistry)),
         ("foo", foo),
@@ -378,6 +415,7 @@ pub fn all() -> Vec<(&'static str, fn() -> (Program, NativeRegistry))> {
         ("crc_guard", crc_guard),
         ("composed", composed),
         ("nonlinear", nonlinear),
+        ("lint_demo", lint_demo),
     ]
 }
 
@@ -526,5 +564,18 @@ mod tests {
     #[should_panic(expected = "k must be between")]
     fn kstep_bounds() {
         let _ = kstep(0);
+    }
+
+    #[test]
+    fn lint_demo_semantics() {
+        let (p, n) = lint_demo();
+        assert_eq!(p.input_width(), 1);
+        // Error requires x = hash(7) + 1; the dead branch never fires.
+        let want = paper_hash(7) + 1;
+        let (o, t) = run(&p, &n, &InputVector::new(vec![want]), 1000);
+        assert_eq!(o, Outcome::Error(1));
+        assert_eq!(t.branches[0], (crate::ast::BranchId(0), false));
+        let (o2, _) = run(&p, &n, &InputVector::new(vec![0]), 1000);
+        assert_eq!(o2, Outcome::Returned);
     }
 }

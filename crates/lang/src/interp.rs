@@ -15,13 +15,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+/// A registered native implementation (shared, dynamically typed).
+pub type NativeImpl = Rc<dyn Fn(&[i64]) -> i64>;
+
 /// A registry of native ("unknown") function implementations.
 ///
 /// Native functions run real Rust code during execution but are opaque to
 /// symbolic reasoning — they are the unknown functions of the paper.
 #[derive(Clone, Default)]
 pub struct NativeRegistry {
-    fns: HashMap<String, (usize, Rc<dyn Fn(&[i64]) -> i64>)>,
+    fns: HashMap<String, (usize, NativeImpl)>,
 }
 
 impl fmt::Debug for NativeRegistry {
@@ -241,17 +244,64 @@ impl Outcome {
     }
 }
 
-/// What one concrete execution did: the branch trace and observed native
-/// calls.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// What one concrete execution did: the branch trace, observed native
+/// calls, and (when statement coverage is enabled) the executed
+/// statements.
+#[derive(Clone, Default)]
 pub struct Trace {
     /// `(site, direction)` for every executed conditional, in order.
     pub branches: Vec<(BranchId, bool)>,
     /// `(name, args, result)` for every native call, in order.
     pub native_calls: Vec<(String, Vec<i64>, i64)>,
+    /// Pre-order ids (see [`crate::ast::stmt_ids`]) of every statement the
+    /// interpreter executed. Empty unless the trace was created with
+    /// [`Trace::for_program`] (as [`run`] does).
+    pub stmts: std::collections::BTreeSet<u32>,
+    /// Statement address → pre-order id, filled by [`Trace::for_program`].
+    index: Rc<HashMap<usize, u32>>,
+}
+
+/// Trace equality compares the *observable* behaviour — branch directions
+/// and native calls — so traces with and without statement coverage
+/// enabled compare equal when the execution behaved identically.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Trace) -> bool {
+        self.branches == other.branches && self.native_calls == other.native_calls
+    }
+}
+
+impl Eq for Trace {}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Trace")
+            .field("branches", &self.branches)
+            .field("native_calls", &self.native_calls)
+            .field("stmts", &self.stmts)
+            .finish()
+    }
 }
 
 impl Trace {
+    /// A trace that additionally records which statements of `program`
+    /// execute (by pre-order [`crate::diag::StmtId`] index).
+    pub fn for_program(program: &Program) -> Trace {
+        let index = crate::ast::stmt_ids(program)
+            .into_iter()
+            .map(|(id, s)| (s as *const Stmt as usize, id.0))
+            .collect();
+        Trace {
+            index: Rc::new(index),
+            ..Trace::default()
+        }
+    }
+
+    fn record_stmt(&mut self, s: &Stmt) {
+        if let Some(&i) = self.index.get(&(s as *const Stmt as usize)) {
+            self.stmts.insert(i);
+        }
+    }
+
     /// The branch-direction path as a compact vector.
     pub fn path(&self) -> Vec<(BranchId, bool)> {
         self.branches.clone()
@@ -514,7 +564,7 @@ pub fn run(
     fuel: u64,
 ) -> (Outcome, Trace) {
     let mut env = inputs.bind(program);
-    let mut trace = Trace::default();
+    let mut trace = Trace::for_program(program);
     let mut fuel = fuel;
     match exec_block(
         &program.body,
@@ -556,6 +606,7 @@ fn exec_block(
             return Ok(Flow::Stop(Outcome::OutOfFuel));
         }
         *fuel -= 1;
+        trace.record_stmt(s);
         match s {
             Stmt::Let(name, e) => {
                 let v = eval_or_flow!(eval_expr(e, env, natives, functions, trace, fuel)
@@ -897,6 +948,7 @@ mod tests {
                 Expr::Call("broken".into(), vec![Expr::Var("x".into())]),
             )],
             branch_count: 0,
+            spans: Default::default(),
         };
         let n = NativeRegistry::new();
         let (o, _) = run(&p, &n, &InputVector::new(vec![1]), 100);

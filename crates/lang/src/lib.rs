@@ -35,13 +35,15 @@
 pub mod ast;
 pub mod check;
 pub mod corpus;
+pub mod diag;
 pub mod interp;
 pub mod parser;
 pub mod pretty;
 pub mod token;
 
-pub use ast::{BinOp, BranchId, Expr, FuncDef, NativeDecl, Param, Program, Stmt, UnOp};
+pub use ast::{stmt_ids, BinOp, BranchId, Expr, FuncDef, NativeDecl, Param, Program, Stmt, UnOp};
 pub use check::{check, CheckError};
+pub use diag::{DiagCode, Diagnostic, Severity, Span, SpanTable, StmtId};
 pub use interp::{
     call_function, eval_binop, eval_expr, run, CVal, Env, EvalError, InputVector, NativeRegistry,
     Outcome, Slot, Trace,

@@ -32,6 +32,7 @@
 //! ```
 
 use crate::ast::{BinOp, BranchId, Expr, NativeDecl, Param, Program, Stmt, UnOp};
+use crate::diag::{Span, SpanTable};
 use crate::token::{tokenize, LexError, Spanned, Token};
 use std::fmt;
 
@@ -65,6 +66,9 @@ struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
     next_branch: u32,
+    /// Statement and branch spans, recorded in parse order — which is the
+    /// pre-order of [`crate::ast::stmt_ids`] by construction.
+    spans: SpanTable,
 }
 
 /// Parses a complete `mini` source file.
@@ -94,6 +98,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
         tokens,
         pos: 0,
         next_branch: 0,
+        spans: SpanTable::new(),
     };
     let program = p.file()?;
     Ok(program)
@@ -106,6 +111,11 @@ impl Parser {
 
     fn line(&self) -> u32 {
         self.tokens[self.pos].line
+    }
+
+    fn cur_span(&self) -> Span {
+        let t = &self.tokens[self.pos];
+        Span::new(t.line, t.col)
     }
 
     fn bump(&mut self) -> Token {
@@ -169,7 +179,7 @@ impl Parser {
             let name = self.ident()?;
             self.expect(Token::Slash)?;
             let arity = self.int()?;
-            if arity < 0 || arity > 32 {
+            if !(0..=32).contains(&arity) {
                 return self.error("native arity must be between 0 and 32");
             }
             self.expect(Token::Semi)?;
@@ -245,6 +255,7 @@ impl Parser {
             functions,
             body,
             branch_count: self.next_branch,
+            spans: std::mem::take(&mut self.spans),
         })
     }
 
@@ -268,6 +279,12 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        // `if` statements record their own span in `if_stmt` (which is
+        // also entered directly for `else if` chains).
+        if *self.peek() != Token::If {
+            let span = self.cur_span();
+            self.spans.push_stmt(span);
+        }
         match self.peek().clone() {
             Token::Let => {
                 self.bump();
@@ -293,6 +310,7 @@ impl Parser {
                 self.bump();
                 let id = self.fresh_branch();
                 self.expect(Token::LParen)?;
+                self.spans.set_branch(id, self.cur_span());
                 let cond = self.expr()?;
                 self.expect(Token::RParen)?;
                 let body = self.block()?;
@@ -339,9 +357,12 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.cur_span();
+        self.spans.push_stmt(span);
         self.expect(Token::If)?;
         let id = self.fresh_branch();
         self.expect(Token::LParen)?;
+        self.spans.set_branch(id, self.cur_span());
         let cond = self.expr()?;
         self.expect(Token::RParen)?;
         let then_branch = self.block()?;

@@ -128,13 +128,16 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token together with its source line (1-based) for diagnostics.
+/// A token together with its source position (1-based line and column)
+/// for diagnostics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
 }
 
 /// Error produced by the lexer.
@@ -178,6 +181,9 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Index of the first character of the current line: columns are
+    // 1-based offsets from it.
+    let mut line_start = 0usize;
     let n = bytes.len();
 
     while i < n {
@@ -186,6 +192,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if i + 1 < n && bytes[i + 1] == '/' => {
@@ -195,6 +202,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '0'..='9' => {
                 let start = i;
+                let col = (start - line_start + 1) as u32;
                 while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
@@ -206,10 +214,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                 out.push(Spanned {
                     token: Token::Int(value),
                     line,
+                    col,
                 });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
+                let col = (start - line_start + 1) as u32;
                 while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
                     i += 1;
                 }
@@ -228,9 +238,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                     "array" => Token::Array,
                     _ => Token::Ident(text),
                 };
-                out.push(Spanned { token, line });
+                out.push(Spanned { token, line, col });
             }
             _ => {
+                let col = (i - line_start + 1) as u32;
                 let (token, advance) = match (c, bytes.get(i + 1).copied()) {
                     ('=', Some('=')) => (Token::EqEq, 2),
                     ('=', _) => (Token::Assign, 1),
@@ -263,7 +274,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
                         })
                     }
                 };
-                out.push(Spanned { token, line });
+                out.push(Spanned { token, line, col });
                 i += advance;
             }
         }
@@ -271,6 +282,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LexError> {
     out.push(Spanned {
         token: Token::Eof,
         line,
+        col: (n - line_start + 1) as u32,
     });
     Ok(out)
 }
@@ -369,6 +381,19 @@ mod tests {
         assert_eq!(ts[0].line, 1);
         assert_eq!(ts[1].line, 2);
         assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn column_tracking() {
+        let ts = tokenize("if (x == 42)\n  y = 1;").unwrap();
+        // `if` at 1:1, `(` at 1:4, `x` at 1:5, `==` at 1:7, `42` at 1:10.
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (1, 4));
+        assert_eq!((ts[2].line, ts[2].col), (1, 5));
+        assert_eq!((ts[3].line, ts[3].col), (1, 7));
+        assert_eq!((ts[4].line, ts[4].col), (1, 10));
+        // `y` on the next line after two spaces: 2:3.
+        assert_eq!((ts[6].line, ts[6].col), (2, 3));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub const KEYWORDS: [&str; 3] = ["if", "then", "end"];
 /// Registry with the 4-ary `hashfunct`.
 pub fn lexer_registry() -> NativeRegistry {
     let mut n = NativeRegistry::new();
-    n.register("hashfunct", 4, |args| hashfunct(args));
+    n.register("hashfunct", 4, hashfunct);
     n
 }
 

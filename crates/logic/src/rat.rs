@@ -207,6 +207,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b computed as a * b^-1
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

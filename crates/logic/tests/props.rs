@@ -5,7 +5,7 @@
 use hotg_logic::{
     Atom, Formula, LinExpr, LinKey, Model, Rat, Rel, Signature, Sort, Term, Value, Var,
 };
-use proptest::prelude::*;
+use hotg_prop::prelude::*;
 
 fn arb_rat() -> impl Strategy<Value = Rat> {
     (-1000i64..=1000, 1i64..=60).prop_map(|(n, d)| Rat::new(n as i128, d as i128))

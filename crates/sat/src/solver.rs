@@ -334,7 +334,7 @@ impl SatSolver {
         for (v, a) in self.assign.iter().enumerate() {
             if a.is_none() {
                 let act = self.activity[v];
-                if best.map_or(true, |(_, b)| act > b) {
+                if best.is_none_or(|(_, b)| act > b) {
                     best = Some((v as u32, act));
                 }
             }

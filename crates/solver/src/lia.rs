@@ -145,6 +145,19 @@ fn core_from_explanation(expl: &[Option<u32>]) -> Option<Vec<usize>> {
 /// assert!(solve_int(&[c], &LiaConfig::default()).is_unsat());
 /// ```
 pub fn solve_int(constraints: &[IntConstraint], config: &LiaConfig) -> LiaResult {
+    let mut budget = config.node_budget;
+    solve_int_budgeted(constraints, config, &mut budget)
+}
+
+/// Like [`solve_int`], but drawing branch-and-bound nodes from an external
+/// pool instead of a per-call allowance. Callers that issue many theory
+/// checks in a refinement loop (the SMT solver) use one shared pool so a
+/// single hard query cannot multiply its cost by the number of rounds.
+pub fn solve_int_budgeted(
+    constraints: &[IntConstraint],
+    config: &LiaConfig,
+    budget: &mut u64,
+) -> LiaResult {
     // GCD pre-test: Σ aᵢxᵢ = -c is integer-infeasible when gcd(aᵢ) ∤ c.
     for (i, con) in constraints.iter().enumerate() {
         if con.kind == ConKind::Eq && !con.coeffs.is_empty() {
@@ -179,10 +192,9 @@ pub fn solve_int(constraints: &[IntConstraint], config: &LiaConfig) -> LiaResult
     }
     keys.sort();
 
-    let mut budget = config.node_budget;
     let extra: Vec<(usize, BoundKind, Rat)> = Vec::new();
 
-    let full = branch(constraints, &keys, config, extra.clone(), &mut budget);
+    let full = branch(constraints, &keys, config, extra.clone(), budget);
     if config.prefer_small {
         if let LiaResult::Sat(ref fallback) = full {
             // The problem is feasible; look for a small-magnitude model
@@ -203,9 +215,7 @@ pub fn solve_int(constraints: &[IntConstraint], config: &LiaConfig) -> LiaResult
                     prefer_small: false,
                     ..*config
                 };
-                let mut box_budget = config.node_budget;
-                if let LiaResult::Sat(m) =
-                    branch(constraints, &keys, &boxed, extra.clone(), &mut box_budget)
+                if let LiaResult::Sat(m) = branch(constraints, &keys, &boxed, extra.clone(), budget)
                 {
                     return LiaResult::Sat(m);
                 }
@@ -215,6 +225,10 @@ pub fn solve_int(constraints: &[IntConstraint], config: &LiaConfig) -> LiaResult
     full
 }
 
+/// Branch-and-bound over the rational relaxation, depth-first with an
+/// explicit worklist: recursion depth is bounded by the node budget
+/// (20k by default), which overflows the thread stack on hard
+/// instances, so the search must not use the call stack.
 fn branch(
     constraints: &[IntConstraint],
     keys: &[LinKey],
@@ -222,8 +236,51 @@ fn branch(
     extra_bounds: Vec<(usize, BoundKind, Rat)>,
     budget: &mut u64,
 ) -> LiaResult {
+    let mut work: Vec<Vec<(usize, BoundKind, Rat)>> = vec![extra_bounds];
+    while let Some(bounds) = work.pop() {
+        match branch_node(constraints, keys, config, &bounds, budget) {
+            NodeOutcome::Done(result) => return result,
+            NodeOutcome::Infeasible => {}
+            NodeOutcome::Split { index, floor } => {
+                // Left branch (key ≤ floor) explored first: push right, then
+                // left, so the stack pops left first.
+                let mut left = bounds.clone();
+                left.push((index, BoundKind::Upper, Rat::from(floor)));
+                let mut right = bounds;
+                right.push((index, BoundKind::Lower, Rat::from(floor + 1)));
+                work.push(right);
+                work.push(left);
+            }
+        }
+    }
+    // Every leaf was an integrality conflict: infeasible, but no sound
+    // core can be named at this level (the conflicts involved branch
+    // bounds).
+    LiaResult::Unsat { core: None }
+}
+
+/// Outcome of evaluating a single branch-and-bound node.
+enum NodeOutcome {
+    /// The whole search is decided: Sat, Unknown, or Unsat with a core
+    /// independent of the branch bounds (hence sound globally).
+    Done(LiaResult),
+    /// This node is infeasible only together with its branch bounds;
+    /// sibling nodes must still be explored.
+    Infeasible,
+    /// Relaxation is feasible but `keys[index]` took a fractional value
+    /// with the given floor: split into two child nodes.
+    Split { index: usize, floor: i128 },
+}
+
+fn branch_node(
+    constraints: &[IntConstraint],
+    keys: &[LinKey],
+    config: &LiaConfig,
+    extra_bounds: &[(usize, BoundKind, Rat)],
+    budget: &mut u64,
+) -> NodeOutcome {
     if *budget == 0 {
-        return LiaResult::Unknown;
+        return NodeOutcome::Done(LiaResult::Unknown);
     }
     *budget -= 1;
 
@@ -236,7 +293,7 @@ fn branch(
             || s.assert_bound(v, BoundKind::Upper, Rat::from(config.var_max), None)
                 .is_err()
         {
-            return LiaResult::Unsat { core: None };
+            return NodeOutcome::Infeasible;
         }
     }
     for (ci, con) in constraints.iter().enumerate() {
@@ -261,23 +318,17 @@ fn branch(
             ConKind::Le => s.assert_bound(slack, BoundKind::Upper, target, tag),
         };
         if let Err(expl) = result {
-            return LiaResult::Unsat {
-                core: core_from_explanation(&expl),
-            };
+            return unsat_node(&expl);
         }
     }
-    for &(i, kind, c) in &extra_bounds {
+    for &(i, kind, c) in extra_bounds {
         if let Err(expl) = s.assert_bound(idx[i], kind, c, None) {
-            return LiaResult::Unsat {
-                core: core_from_explanation(&expl),
-            };
+            return unsat_node(&expl);
         }
     }
 
     match s.check() {
-        SimplexResult::Unsat(expl) => LiaResult::Unsat {
-            core: core_from_explanation(&expl),
-        },
+        SimplexResult::Unsat(expl) => unsat_node(&expl),
         SimplexResult::Sat(values) => {
             // Find a fractional key.
             let mut fractional: Option<(usize, Rat)> = None;
@@ -296,39 +347,25 @@ fn branch(
                         let as_int = v.to_i64().expect("integral value fits i64");
                         out.insert(k.clone(), as_int);
                     }
-                    LiaResult::Sat(out)
+                    NodeOutcome::Done(LiaResult::Sat(out))
                 }
-                Some((i, v)) => {
-                    let fl = v.floor();
-                    // Left branch: key ≤ floor(v).
-                    let mut left = extra_bounds.clone();
-                    left.push((i, BoundKind::Upper, Rat::from(fl)));
-                    match branch(constraints, keys, config, left, budget) {
-                        LiaResult::Sat(m) => return LiaResult::Sat(m),
-                        LiaResult::Unknown => return LiaResult::Unknown,
-                        LiaResult::Unsat { core: Some(core) } => {
-                            // Sound core independent of the branch split:
-                            // the whole problem is infeasible.
-                            return LiaResult::Unsat { core: Some(core) };
-                        }
-                        LiaResult::Unsat { core: None } => {}
-                    }
-                    // Right branch: key ≥ floor(v) + 1.
-                    let mut right = extra_bounds;
-                    right.push((i, BoundKind::Lower, Rat::from(fl + 1)));
-                    match branch(constraints, keys, config, right, budget) {
-                        LiaResult::Sat(m) => LiaResult::Sat(m),
-                        LiaResult::Unknown => LiaResult::Unknown,
-                        LiaResult::Unsat { core: Some(core) } => {
-                            LiaResult::Unsat { core: Some(core) }
-                        }
-                        // Integrality conflict across both branches: no
-                        // sound core at this level.
-                        LiaResult::Unsat { core: None } => LiaResult::Unsat { core: None },
-                    }
-                }
+                Some((i, v)) => NodeOutcome::Split {
+                    index: i,
+                    floor: v.floor(),
+                },
             }
         }
+    }
+}
+
+/// Maps a simplex infeasibility explanation to a node outcome: a core
+/// naming only original constraints is sound independently of the branch
+/// bounds (the whole problem is infeasible); otherwise only this node is
+/// dead and its siblings must still be explored.
+fn unsat_node(expl: &[Option<u32>]) -> NodeOutcome {
+    match core_from_explanation(expl) {
+        Some(core) => NodeOutcome::Done(LiaResult::Unsat { core: Some(core) }),
+        None => NodeOutcome::Infeasible,
     }
 }
 

@@ -10,7 +10,7 @@
 //! abstraction with simplex + branch-and-bound as the theory oracle.
 
 use crate::atoms::{eq_split, negate_le, normalize, NormAtom, Prim};
-use crate::lia::{solve_int, ConKind, IntConstraint, LiaConfig, LiaResult};
+use crate::lia::{solve_int, solve_int_budgeted, ConKind, IntConstraint, LiaConfig, LiaResult};
 use hotg_logic::{Atom, Formula, LinKey, Model, NonLinearError, Term, Value};
 use hotg_sat::{Lit, SatResult, SatSolver};
 use std::collections::HashMap;
@@ -41,6 +41,11 @@ pub struct SmtConfig {
     pub lia: LiaConfig,
     /// Maximum number of SAT ↔ theory refinement rounds.
     pub max_rounds: u64,
+    /// Total branch-and-bound nodes one `check` may spend across all its
+    /// refinement rounds (including core minimization). Without this pool
+    /// a hard query can pay the full per-round LIA budget `max_rounds`
+    /// times — hours of wall clock — before conceding `Unknown`.
+    pub total_node_budget: u64,
 }
 
 impl SmtConfig {
@@ -49,6 +54,7 @@ impl SmtConfig {
         SmtConfig {
             lia: LiaConfig::default(),
             max_rounds: 100_000,
+            total_node_budget: 120_000,
         }
     }
 }
@@ -244,11 +250,35 @@ impl SmtSolver {
     /// concretization or uninterpreted functions first — that is the whole
     /// point of the paper.
     pub fn check(&self, formula: &Formula) -> Result<SmtResult, NonLinearError> {
+        let trace = std::env::var_os("HOTG_SMT_TRACE").is_some();
+        let start = std::time::Instant::now();
         let full = Self::ackermannize(&formula.nnf());
 
+        let result = self.check_inner(&full);
+        if trace && start.elapsed().as_millis() > 200 {
+            eprintln!(
+                "[smt] {}ms apps={} result={:?}",
+                start.elapsed().as_millis(),
+                full.apps().len(),
+                result.as_ref().map(|r| match r {
+                    SmtResult::Sat(_) => "sat",
+                    SmtResult::Unsat => "unsat",
+                    SmtResult::Unknown => "unknown",
+                })
+            );
+        }
+        result
+    }
+
+    fn check_inner(&self, full: &Formula) -> Result<SmtResult, NonLinearError> {
         let mut enc = Encoder::new();
-        let top = enc.encode(&full)?;
+        let top = enc.encode(full)?;
         enc.sat.add_clause([top]);
+
+        // One node pool for the whole check: every theory query (and the
+        // core minimization probes) draws from it, so total work is
+        // bounded even when individual rounds are hard.
+        let mut pool = self.config.total_node_budget;
 
         for _round in 0..self.config.max_rounds {
             match enc.sat.solve() {
@@ -281,9 +311,19 @@ impl SmtSolver {
                             }
                         }
                     }
-                    match solve_int(&constraints, &self.config.lia) {
+                    let lia = LiaConfig {
+                        node_budget: self.config.lia.node_budget.min(pool),
+                        ..self.config.lia
+                    };
+                    let before = pool;
+                    let mut call_pool = lia.node_budget.min(pool);
+                    let spent_base = pool - call_pool;
+                    let result = solve_int_budgeted(&constraints, &lia, &mut call_pool);
+                    pool = spent_base + call_pool;
+                    debug_assert!(pool <= before);
+                    match result {
                         LiaResult::Sat(assign) => {
-                            let model = Self::build_model(&full, &assign);
+                            let model = Self::build_model(full, &assign);
                             debug_assert_eq!(full.eval(&model), Some(true));
                             return Ok(SmtResult::Sat(model));
                         }
@@ -292,7 +332,7 @@ impl SmtSolver {
                             if asserting.is_empty() {
                                 // No theory atoms at all: boolean SAT is final.
                                 let model =
-                                    Self::build_model(&full, &std::collections::BTreeMap::new());
+                                    Self::build_model(full, &std::collections::BTreeMap::new());
                                 return Ok(SmtResult::Sat(model));
                             }
                             // Prefer the provenance core from the theory
@@ -324,9 +364,14 @@ impl SmtSolver {
         if constraints.len() > 96 {
             return core;
         }
-        // Feasibility checks only — no need to polish models.
+        // Feasibility checks only — no need to polish models. The node
+        // budget is capped hard: minimization is a best-effort heuristic
+        // running up to ~96 solves per conflict, and a deletion probe that
+        // comes back Unknown under the cap simply keeps its constraint
+        // (sound — the core stays unsatisfiable, just less minimal).
         let lia = crate::lia::LiaConfig {
             prefer_small: false,
+            node_budget: self.config.lia.node_budget.min(400),
             ..self.config.lia
         };
         let mut i = 0;

@@ -151,11 +151,8 @@ impl Strategy {
         let mut out = BTreeMap::new();
         let mut missing = Vec::new();
         for b in &self.bindings {
-            match eval_ground(&b.term, samples, &mut missing) {
-                Some(v) => {
-                    out.insert(b.var, v);
-                }
-                None => {}
+            if let Some(v) = eval_ground(&b.term, samples, &mut missing) {
+                out.insert(b.var, v);
             }
         }
         if missing.is_empty() {
@@ -749,7 +746,7 @@ fn apply_subst(t: &Term, subst: &BTreeMap<Var, Term>) -> Term {
     t.subst(&|v| subst.get(&v).cloned())
 }
 
-fn bind(subst: &mut BTreeMap<Var, Term>, pending: &mut Vec<Atom>, var: Var, term: Term) -> bool {
+fn bind(subst: &mut BTreeMap<Var, Term>, pending: &mut [Atom], var: Var, term: Term) -> bool {
     if term.vars().contains(&var) {
         return false; // occurs check
     }

@@ -3,9 +3,9 @@
 //! ground equality problems.
 
 use hotg_logic::{Atom, Formula, Signature, Sort, Term};
+use hotg_prop::prelude::*;
 use hotg_solver::euf::CongruenceClosure;
 use hotg_solver::{SmtResult, SmtSolver};
-use proptest::prelude::*;
 
 /// A random ground term over constants 0..4, a unary `f` and binary `g`.
 fn arb_ground_term() -> impl Strategy<Value = Term> {
@@ -22,8 +22,8 @@ fn arb_ground_term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_literals() -> impl Strategy<Value = Vec<(Term, Term, bool)>> {
-    proptest::collection::vec(
-        (arb_ground_term(), arb_ground_term(), proptest::bool::ANY),
+    hotg_prop::collection::vec(
+        (arb_ground_term(), arb_ground_term(), hotg_prop::bool::ANY),
         1..6,
     )
 }

@@ -2,8 +2,8 @@
 //! quantifier-free linear formulas over a boxed domain.
 
 use hotg_logic::{Atom, Formula, Model, Rel, Signature, Sort, Term, Value, Var};
+use hotg_prop::prelude::*;
 use hotg_solver::{SmtResult, SmtSolver};
-use proptest::prelude::*;
 
 const BOX: i64 = 6;
 

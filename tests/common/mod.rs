@@ -9,7 +9,7 @@
 use hotg_concolic::ConcolicContext;
 use hotg_lang::{BinOp, BranchId, Expr, NativeDecl, NativeRegistry, Param, Program, Stmt, UnOp};
 use hotg_logic::{Formula, Model, Term, Value};
-use proptest::prelude::*;
+use hotg_prop::prelude::*;
 
 /// The native function used by generated programs.
 pub fn test_natives() -> NativeRegistry {
@@ -113,11 +113,11 @@ fn stmt(depth: u32) -> BoxedStrategy<Stmt> {
         ]
         .boxed()
     } else {
-        let body = proptest::collection::vec(stmt(depth - 1), 1..3);
+        let body = hotg_prop::collection::vec(stmt(depth - 1), 1..3);
         prop_oneof![
             3 => (0usize..3, int_expr())
                 .prop_map(|(i, e)| Stmt::Assign(INPUTS[i].to_string(), e)),
-            2 => (cond_expr(), body.clone(), proptest::collection::vec(stmt(depth - 1), 0..2))
+            2 => (cond_expr(), body.clone(), hotg_prop::collection::vec(stmt(depth - 1), 0..2))
                 .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
                     id: BranchId(0), // renumbered below
                     cond,
@@ -156,7 +156,7 @@ fn renumber(stmts: &mut [Stmt], next: &mut u32) {
 
 /// A random loop-free program over inputs `x, y, z` and native `f/1`.
 pub fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(stmt(2), 1..5).prop_map(|mut body| {
+    hotg_prop::collection::vec(stmt(2), 1..5).prop_map(|mut body| {
         let mut next = 0;
         renumber(&mut body, &mut next);
         let program = Program {
@@ -172,6 +172,8 @@ pub fn arb_program() -> impl Strategy<Value = Program> {
             functions: Vec::new(),
             body,
             branch_count: next,
+
+            spans: Default::default(),
         };
         hotg_lang::check(&program).expect("generated programs are well-formed");
         program
@@ -180,7 +182,7 @@ pub fn arb_program() -> impl Strategy<Value = Program> {
 
 /// Random input vectors in a small range.
 pub fn arb_inputs() -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::vec(-25i64..=25, 3)
+    hotg_prop::collection::vec(-25i64..=25, 3)
 }
 
 /// Builds a [`Model`] assigning the given inputs and interpreting every

@@ -11,7 +11,7 @@ mod common;
 
 use common::{arb_program, test_natives};
 use hotg_core::{Driver, DriverConfig, Technique};
-use proptest::prelude::*;
+use hotg_prop::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
@@ -19,7 +19,7 @@ proptest! {
     #[test]
     fn higher_order_dominates_sound_concretization(
         program in arb_program(),
-        seed in proptest::collection::vec(-10i64..=10, 3),
+        seed in hotg_prop::collection::vec(-10i64..=10, 3),
     ) {
         let natives = test_natives();
         let config = DriverConfig {

@@ -9,7 +9,7 @@ mod common;
 use common::{arb_inputs, arb_program, model_with_real_functions, test_natives};
 use hotg_concolic::{execute, ConcolicContext, SymbolicMode};
 use hotg_lang::{run, InputVector};
-use proptest::prelude::*;
+use hotg_prop::prelude::*;
 
 const FUEL: u64 = 50_000;
 

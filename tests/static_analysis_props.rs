@@ -1,0 +1,104 @@
+//! Property tests for the `hotg-analysis` static oracle against the
+//! dynamic engine, over the whole corpus:
+//!
+//! * **Taint over-approximation** — the free variables of every dynamic
+//!   branch constraint are contained in the branch's static taint set
+//!   (the static bound on which inputs Theorem 2's sound concretization
+//!   may ever need to pin).
+//! * **Reachability over-approximation** — no branch direction a real
+//!   execution takes is ever statically classified infeasible, and no
+//!   statement the interpreter executes is ever marked dead.
+
+use hotg_analysis::{analyze, StmtId};
+use hotg_concolic::{execute, ConcolicContext, SymbolicMode};
+use hotg_lang::{corpus, InputVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FUEL: u64 = 50_000;
+const VECTORS: usize = 100;
+
+fn random_vectors(width: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..VECTORS)
+        .map(|_| (0..width).map(|_| rng.gen_range(-1000..=1000)).collect())
+        .collect()
+}
+
+#[test]
+fn static_taint_over_approximates_dynamic_taint() {
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let analysis = analyze(&program);
+        let ctx = ConcolicContext::new(&program);
+        for inputs in random_vectors(program.input_width(), 0xacc0) {
+            for mode in [SymbolicMode::Uninterpreted, SymbolicMode::SoundConcretize] {
+                let run = execute(
+                    &ctx,
+                    &program,
+                    &natives,
+                    &InputVector::new(inputs.clone()),
+                    mode,
+                    FUEL,
+                );
+                for j in run.pc.branch_indices() {
+                    let entry = &run.pc.entries[j];
+                    let (id, _) = entry.branch.expect("branch entry");
+                    let taint = analysis.taint_of(id);
+                    for v in entry.constraint.vars() {
+                        assert!(
+                            taint.contains(&v.index()),
+                            "{name} ({mode:?}, inputs {inputs:?}): dynamic \
+                             constraint at {id:?} depends on input {} outside \
+                             the static taint set {taint:?}",
+                            v.index()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn executed_code_is_never_statically_dead() {
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let analysis = analyze(&program);
+        let ctx = ConcolicContext::new(&program);
+        for inputs in random_vectors(program.input_width(), 0xdead) {
+            let (_, trace) =
+                hotg_lang::run(&program, &natives, &InputVector::new(inputs.clone()), FUEL);
+            for &sid in &trace.stmts {
+                assert!(
+                    !analysis.is_dead(StmtId(sid)),
+                    "{name} (inputs {inputs:?}): interpreter executed \
+                     statement s{sid}, which the analysis marks dead"
+                );
+            }
+            let run = execute(
+                &ctx,
+                &program,
+                &natives,
+                &InputVector::new(inputs.clone()),
+                SymbolicMode::Uninterpreted,
+                FUEL,
+            );
+            for &(id, dir) in &run.trace.branches {
+                let fact = analysis.branch(id);
+                assert!(
+                    fact.reached,
+                    "{name} (inputs {inputs:?}): executed branch {id:?} is \
+                     statically unreached"
+                );
+                assert!(
+                    !analysis.flip_infeasible(id, dir),
+                    "{name} (inputs {inputs:?}): direction {dir} actually \
+                     taken at {id:?} is statically classified infeasible \
+                     ({:?})",
+                    fact.constancy
+                );
+            }
+        }
+    }
+}

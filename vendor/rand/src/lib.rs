@@ -1,0 +1,152 @@
+//! Hermetic stand-in for the `rand` crate.
+//!
+//! The build environment for this repository is fully offline, so the
+//! workspace vendors the tiny subset of the `rand` 0.8 API it actually
+//! uses: [`SeedableRng`], [`Rng::gen_range`] over integer ranges, and the
+//! [`rngs::StdRng`]/[`rngs::SmallRng`] generators. Both generators are
+//! deterministic splitmix64/LCG hybrids — statistically adequate for test
+//! input generation, not for cryptography.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (API-compatible subset of `rand`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Inclusive bounds `(lo, hi)` of the range.
+    ///
+    /// Panics if the range is empty.
+    fn bounds(&self) -> (i128, i128);
+    /// Converts a sampled value back to the range's item type.
+    fn from_i128(v: i128) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds(&self) -> (i128, i128) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start as i128, self.end as i128 - 1)
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds(&self) -> (i128, i128) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start() as i128, *self.end() as i128)
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i64, i32, u32, u64, usize);
+
+/// Core random-generation trait (API-compatible subset of `rand`).
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let span = (hi - lo + 1) as u128;
+        // Rejection-free modulo sampling: the bias over a u128 numerator is
+        // ≤ 2⁻⁶⁴, far below what test-input generation can observe.
+        let v = ((self.next_u64() as u128) % span) as i128;
+        R::from_i128(lo + v)
+    }
+
+    /// Uniform boolean.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    /// Deterministic 64-bit generator (splitmix64-seeded LCG + xorshift
+    /// output mix). Stands in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = self.0;
+            (x ^ (x >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        }
+    }
+
+    /// Small fast generator; same engine as [`StdRng`] with a different
+    /// seed schedule. Stands in for `rand::rngs::SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(StdRng);
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(<StdRng as super::SeedableRng>::seed_from_u64(
+                seed ^ 0xA076_1D64_78BD_642F,
+            ))
+        }
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            super::Rng::next_u64(&mut self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x: i64 = a.gen_range(-1000i64..=1000);
+            let y: i64 = b.gen_range(-1000i64..=1000);
+            assert_eq!(x, y);
+            assert!((-1000..=1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn half_open_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: usize = r.gen_range(0usize..3);
+            assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}
