@@ -1,0 +1,238 @@
+//! Machine-readable campaign benchmark: runs the full corpus × technique
+//! matrix, re-checks every paper claim, measures the parallel-search
+//! speedup, and writes everything as JSON (`BENCH_campaign.json` at the
+//! repo root by default).
+//!
+//! ```text
+//! campaign-bench [--reduced] [--out PATH] [--threads N]
+//! ```
+//!
+//! * `--reduced` shrinks the corpus and run budget for CI smoke runs.
+//! * `--out PATH` overrides the output path.
+//! * `--threads N` overrides the worker-pool size of the parallel
+//!   measurement (default: 4).
+//!
+//! The JSON schema is documented in `EXPERIMENTS.md` (section
+//! "Campaign benchmark").
+
+use hotg_bench::paper_examples;
+use hotg_core::{Driver, DriverConfig, Report, Technique};
+use hotg_lang::corpus;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Programs exercised in `--reduced` mode: the paper's headline examples
+/// plus one EUF program, enough to exercise every driver path cheaply.
+const REDUCED_PROGRAMS: [&str; 4] = ["obscure", "foo", "bar", "euf_eq"];
+
+struct Args {
+    reduced: bool,
+    out: String,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reduced: false,
+        out: "BENCH_campaign.json".to_string(),
+        threads: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reduced" => args.reduced = true,
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("campaign-bench: {msg}");
+    eprintln!("usage: campaign-bench [--reduced] [--out PATH] [--threads N]");
+    std::process::exit(2);
+}
+
+fn config(width: usize, max_runs: usize, threads: usize) -> DriverConfig {
+    DriverConfig {
+        max_runs,
+        threads,
+        ..DriverConfig::with_initial(vec![0; width])
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn row_json(program: &str, r: &Report, wall_ms: f64) -> String {
+    let errors: Vec<String> = r.errors.keys().map(|c| c.to_string()).collect();
+    let first_error = r
+        .errors
+        .values()
+        .min()
+        .map_or("null".to_string(), |i| i.to_string());
+    format!(
+        "{{\"program\": {}, \"technique\": {}, \"wall_ms\": {:.3}, \
+         \"runs\": {}, \"probes\": {}, \"solver_calls\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+         \"covered_directions\": {}, \"branch_directions\": {}, \
+         \"max_generation_width\": {}, \
+         \"first_error_run\": {}, \"errors\": [{}]}}",
+        json_str(program),
+        json_str(r.technique.label()),
+        wall_ms,
+        r.total_runs(),
+        r.probes,
+        r.solver_calls,
+        r.cache_hits,
+        r.cache_misses,
+        r.cache_hit_rate(),
+        r.covered_directions(),
+        2 * r.branch_sites,
+        r.max_generation_width(),
+        first_error,
+        errors.join(", "),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let max_runs = if args.reduced { 40 } else { 200 };
+    let programs: Vec<_> = corpus::all()
+        .into_iter()
+        .filter(|(name, _)| !args.reduced || REDUCED_PROGRAMS.contains(name))
+        .collect();
+
+    // Matrix: every program × every technique, single-threaded so the
+    // per-row wall times are comparable across techniques.
+    let mut rows = Vec::new();
+    for (name, ctor) in &programs {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            let driver = Driver::new(&program, &natives, config(width, max_runs, 1));
+            let start = Instant::now();
+            let report = driver.run(technique);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            eprintln!(
+                "{name:<14} {:<18} {:>7.1}ms  {}",
+                technique.label(),
+                wall_ms,
+                report
+            );
+            rows.push(row_json(name, &report, wall_ms));
+        }
+    }
+
+    // Paper claims (independent of --reduced: they are the gate CI fails
+    // on, and cheap at their fixed 40-run budget).
+    let claims: Vec<String> = paper_examples()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"id\": {}, \"program\": {}, \"technique\": {}, \
+                 \"claim\": {}, \"measured\": {}, \"pass\": {}}}",
+                json_str(c.id),
+                json_str(c.program),
+                json_str(c.technique.label()),
+                json_str(c.claim),
+                json_str(&c.measured),
+                c.pass
+            )
+        })
+        .collect();
+    let failed_claims = paper_examples().iter().filter(|c| !c.pass).count();
+
+    // Parallel speedup: the HigherOrder technique over the whole corpus
+    // selection, threads=1 vs threads=N. Campaigns are deterministic per
+    // thread count, so the two legs do identical search work. The host's
+    // core count is recorded alongside: on a single-core host the pool
+    // cannot beat the sequential leg no matter how wide the generations
+    // are, so `speedup` is only meaningful when `host_threads > 1`.
+    let threads = args.threads.max(2);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut sequential_ms = 0.0;
+    let mut parallel_ms = 0.0;
+    let mut widest = 0usize;
+    for (name, ctor) in &programs {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for (th, acc) in [(1, &mut sequential_ms), (threads, &mut parallel_ms)] {
+            let driver = Driver::new(&program, &natives, config(width, max_runs, th));
+            let start = Instant::now();
+            let report = driver.run(Technique::HigherOrder);
+            *acc += start.elapsed().as_secs_f64() * 1e3;
+            widest = widest.max(report.max_generation_width());
+            let _ = name;
+        }
+    }
+    let speedup = if parallel_ms > 0.0 {
+        sequential_ms / parallel_ms
+    } else {
+        0.0
+    };
+    eprintln!(
+        "parallel higher-order: {sequential_ms:.1}ms @1 thread, \
+         {parallel_ms:.1}ms @{threads} threads, speedup {speedup:.2}x \
+         (host has {host_threads} core(s), widest generation {widest})"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"hotg-campaign-bench/1\",\n  \"reduced\": {},\n  \
+         \"max_runs\": {},\n  \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
+         \"failed_claims\": {},\n  \"parallel\": {{\"technique\": \"higher-order\", \
+         \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
+         \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+         \"speedup\": {:.3}}}\n}}\n",
+        args.reduced,
+        max_runs,
+        rows.join(",\n    "),
+        claims.join(",\n    "),
+        failed_claims,
+        threads,
+        host_threads,
+        widest,
+        sequential_ms,
+        parallel_ms,
+        speedup,
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", args.out));
+    println!(
+        "wrote {} ({} rows, {} claims)",
+        args.out,
+        rows.len(),
+        claims.len()
+    );
+
+    if failed_claims > 0 {
+        eprintln!("campaign-bench: {failed_claims} paper-claim row(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -91,6 +91,14 @@ pub struct DriverConfig {
     /// initial `IOF` table. Sound — the analysis over-approximates, so
     /// only targets no execution can reach are dropped.
     pub static_pruning: bool,
+    /// Worker threads for the generational directed search. Each
+    /// generation's targets are solved and executed concurrently against a
+    /// snapshot of the sample table, and merged back in deterministic
+    /// target order — so the resulting [`Report`](crate::Report) is
+    /// identical for every thread count (only the cache hit/miss counters
+    /// may differ). `1` processes targets inline on the calling thread;
+    /// the default is the machine's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for DriverConfig {
@@ -106,6 +114,9 @@ impl Default for DriverConfig {
             initial_inputs: None,
             seed_corpus: Vec::new(),
             static_pruning: true,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -140,6 +151,7 @@ mod tests {
         assert!(c.random_range.0 <= c.random_range.1);
         assert!(c.cross_run_samples);
         assert!(c.static_pruning);
+        assert!(c.threads >= 1);
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
     }

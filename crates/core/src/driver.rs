@@ -13,14 +13,29 @@
 //!   strategy against the recorded samples, running intermediate probe
 //!   executions when a needed application value is unknown (multi-step
 //!   test generation, §5.3 Example 7).
+//!
+//! # Parallel generational search
+//!
+//! Each generation is processed in two phases. First, its targets are
+//! filtered through the dedup set in deterministic order; then every
+//! surviving target is processed as a *pure function* of the target and a
+//! snapshot of the sample table taken at generation start — solver
+//! queries, strategy interpretation, and probe executions all run against
+//! thread-local state. A `std::thread::scope` worker pool (size
+//! [`DriverConfig::threads`]) pulls targets off an atomic cursor; the
+//! per-target outcomes are merged back into the report, the sample table,
+//! and the next generation's worklist **in target order** on the calling
+//! thread. Because the per-target computation never observes shared
+//! mutable state and the merge order is fixed, the resulting [`Report`]
+//! is identical for every thread count (only the solver-cache hit/miss
+//! counters can differ — racing workers may each miss a key one of them
+//! is about to fill, but the cached values are pure functions of the key).
 
 use crate::config::{DriverConfig, Technique};
 use crate::report::{Origin, Report, RunRecord};
 use crate::summaries::{SummaryConfig, SummaryTable};
 use hotg_analysis::{analyze, AnalysisResult, SiteClass};
-use hotg_concolic::{
-    diverged, execute_opts, ConcolicContext, ConcolicRun, PathConstraint, SymbolicMode,
-};
+use hotg_concolic::{diverged, execute_opts, ConcolicContext, PathConstraint, SymbolicMode};
 use hotg_lang::{BranchId, InputVector, NativeRegistry, Program};
 use hotg_logic::{Formula, Value};
 use hotg_solver::{
@@ -28,7 +43,11 @@ use hotg_solver::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// A branch-flip target produced by one executed run.
 #[derive(Clone, Debug)]
@@ -40,6 +59,48 @@ struct Target {
     /// Samples observed by the parent run (used when cross-run sampling
     /// is disabled).
     parent_samples: Samples,
+}
+
+/// A filtered, ready-to-process target of one generation: the dedup and
+/// feasibility pre-checks ran on the merge thread, so workers start
+/// straight at the solver query.
+struct Job {
+    target: Target,
+    expected: Vec<(BranchId, bool)>,
+    alt: Formula,
+    id: BranchId,
+}
+
+/// One executed run produced while processing a target, together with
+/// everything the merge step folds back into the campaign state.
+struct WorkerRun {
+    record: RunRecord,
+    /// Samples observed by this run (merged into the global table).
+    samples: Samples,
+    /// Branch-flip targets of this run (next generation's worklist).
+    children: Vec<Target>,
+    /// Targets dropped by the static oracle while expanding this run.
+    pruned_static: usize,
+}
+
+/// Everything one target's processing produced. Workers fill these in
+/// isolation; the campaign merges them in deterministic target order.
+#[derive(Default)]
+struct TargetOutcome {
+    solver_calls: usize,
+    rejected_targets: usize,
+    /// Executed runs (probes and generated tests), in execution order.
+    runs: Vec<WorkerRun>,
+}
+
+/// Deterministic dedup key of an expected branch path. Storing the
+/// 64-bit hash instead of the path itself keeps the `seen` set compact:
+/// paths grow linearly with program depth, and every executed run
+/// contributes one per negatable branch.
+fn path_key(path: &[(BranchId, bool)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    path.hash(&mut h);
+    h.finish()
 }
 
 /// A test-generation campaign on one program.
@@ -111,6 +172,9 @@ impl<'p> Driver<'p> {
             targets_pruned_static: 0,
             presampled_sites: 0,
             branch_sites: self.program.branch_count,
+            cache_hits: 0,
+            cache_misses: 0,
+            generation_widths: Vec::new(),
             elapsed: std::time::Duration::ZERO,
         }
     }
@@ -179,19 +243,17 @@ impl<'p> Driver<'p> {
         report.runs.push(record);
     }
 
-    /// Executes one concolic run, accounts it, and enqueues its targets.
-    #[allow(clippy::too_many_arguments)]
-    fn execute_and_expand(
+    /// Executes one concolic run and expands its branch-flip targets.
+    /// Pure with respect to the campaign state: safe to call from worker
+    /// threads; the result is folded in by [`Driver::merge_run`].
+    fn execute_run(
         &self,
         inputs: Vec<i64>,
         origin: Origin,
         expected: Option<&[(BranchId, bool)]>,
         mode: SymbolicMode,
         summarize: bool,
-        report: &mut Report,
-        worklist: &mut VecDeque<Target>,
-        samples_acc: &mut Samples,
-    ) -> ConcolicRun {
+    ) -> WorkerRun {
         let run = execute_opts(
             &self.ctx,
             self.program,
@@ -201,7 +263,6 @@ impl<'p> Driver<'p> {
             self.config.fuel,
             summarize,
         );
-        samples_acc.merge(&run.samples);
         let div = expected.map(|e| diverged(e, &run.trace.branches));
         let record = RunRecord {
             inputs: inputs.clone(),
@@ -210,7 +271,8 @@ impl<'p> Driver<'p> {
             diverged: div,
             path: run.trace.branches.clone(),
         };
-        self.account(report, record);
+        let mut children = Vec::new();
+        let mut pruned_static = 0;
         for j in run.pc.branch_indices() {
             // A constraint that folded to `true` has no input dependence:
             // its negation is trivially infeasible, so it is not a target.
@@ -223,18 +285,53 @@ impl<'p> Driver<'p> {
             if self.config.static_pruning {
                 let (id, taken) = run.pc.entries[j].branch.expect("branch entry");
                 if self.analysis.flip_infeasible(id, !taken) {
-                    report.targets_pruned_static += 1;
+                    pruned_static += 1;
                     continue;
                 }
             }
-            worklist.push_back(Target {
+            children.push(Target {
                 parent_inputs: inputs.clone(),
                 pc: run.pc.clone(),
                 j,
                 parent_samples: run.samples.clone(),
             });
         }
-        run
+        WorkerRun {
+            record,
+            samples: run.samples,
+            children,
+            pruned_static,
+        }
+    }
+
+    /// Folds one executed run into the campaign state (merge thread only).
+    fn merge_run(
+        &self,
+        run: WorkerRun,
+        report: &mut Report,
+        pending: &mut Vec<Target>,
+        samples_acc: &mut Samples,
+    ) {
+        samples_acc.merge(&run.samples);
+        report.targets_pruned_static += run.pruned_static;
+        self.account(report, run.record);
+        pending.extend(run.children);
+    }
+
+    /// Folds one target's outcome into the campaign state, in target
+    /// order (merge thread only).
+    fn merge_outcome(
+        &self,
+        outcome: TargetOutcome,
+        report: &mut Report,
+        pending: &mut Vec<Target>,
+        samples_acc: &mut Samples,
+    ) {
+        report.solver_calls += outcome.solver_calls;
+        report.rejected_targets += outcome.rejected_targets;
+        for run in outcome.runs {
+            self.merge_run(run, report, pending, samples_acc);
+        }
     }
 
     /// Merges solved/strategy values over the parent inputs: DART
@@ -250,7 +347,8 @@ impl<'p> Driver<'p> {
         out
     }
 
-    /// The directed search shared by the whitebox techniques.
+    /// The directed search shared by the whitebox techniques (see the
+    /// module docs for the parallel generation structure).
     fn directed(&self, technique: Technique, mode: SymbolicMode) -> Report {
         let summarize = technique == Technique::HigherOrderCompositional;
         let summaries = if summarize && !self.program.functions.is_empty() {
@@ -264,8 +362,8 @@ impl<'p> Driver<'p> {
         };
         let mut report = self.fresh_report(technique);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut worklist: VecDeque<Target> = VecDeque::new();
-        let mut seen: HashSet<Vec<(BranchId, bool)>> = HashSet::new();
+        let mut pending: Vec<Target> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         let mut samples_acc = Samples::new();
         let smt = SmtSolver::with_config(self.config.validity.smt);
         let validity = ValidityChecker::with_config(self.config.validity);
@@ -291,164 +389,211 @@ impl<'p> Driver<'p> {
         }
 
         let initial = self.initial_inputs(&mut rng);
-        self.execute_and_expand(
-            initial,
-            Origin::Initial,
-            None,
-            mode,
-            summarize,
-            &mut report,
-            &mut worklist,
-            &mut samples_acc,
-        );
+        let run = self.execute_run(initial, Origin::Initial, None, mode, summarize);
+        self.merge_run(run, &mut report, &mut pending, &mut samples_acc);
         for seed_inputs in &self.config.seed_corpus {
-            self.execute_and_expand(
-                seed_inputs.clone(),
-                Origin::Seed,
-                None,
-                mode,
-                summarize,
-                &mut report,
-                &mut worklist,
-                &mut samples_acc,
-            );
+            let run = self.execute_run(seed_inputs.clone(), Origin::Seed, None, mode, summarize);
+            self.merge_run(run, &mut report, &mut pending, &mut samples_acc);
         }
 
-        while let Some(target) = worklist.pop_front() {
-            if report.runs.len() >= self.config.max_runs {
+        let threads = self.config.threads.max(1);
+        'search: while !pending.is_empty() && report.runs.len() < self.config.max_runs {
+            // Filter the generation through the dedup set sequentially, in
+            // target order — the set is only consulted here, so worker
+            // scheduling cannot affect which targets survive.
+            let mut jobs: Vec<Job> = Vec::new();
+            for target in std::mem::take(&mut pending) {
+                let Some(expected) = target.pc.expected_path(target.j) else {
+                    continue;
+                };
+                if !seen.insert(path_key(&expected)) {
+                    continue;
+                }
+                let Some(alt) = target.pc.alt(target.j) else {
+                    continue;
+                };
+                let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
+                jobs.push(Job {
+                    target,
+                    expected,
+                    alt,
+                    id,
+                });
+            }
+            if jobs.is_empty() {
                 break;
             }
-            let Some(expected) = target.pc.expected_path(target.j) else {
-                continue;
-            };
-            if !seen.insert(expected.clone()) {
-                continue;
-            }
-            let Some(alt) = target.pc.alt(target.j) else {
-                continue;
-            };
-            let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
-
-            match technique {
-                Technique::DartUnsound | Technique::DartSound | Technique::DartSoundDelayed => {
-                    report.solver_calls += 1;
-                    match smt.check(&alt) {
-                        Ok(SmtResult::Sat(model)) => {
-                            let mut values = BTreeMap::new();
-                            for v in alt.vars() {
-                                if let Some(Value::Int(x)) = model.var(v) {
-                                    values.insert(v, x);
-                                }
-                            }
-                            let inputs = self.merge_inputs(&target.parent_inputs, &values);
-                            self.execute_and_expand(
-                                inputs,
-                                Origin::Solved { target: id },
-                                Some(&expected),
+            report.generation_widths.push(jobs.len());
+            // Snapshot of the sample table all of this generation's
+            // targets are checked against (per-target probe runs extend a
+            // thread-local copy).
+            let snapshot = samples_acc.clone();
+            if threads == 1 || jobs.len() == 1 {
+                for job in &jobs {
+                    if report.runs.len() >= self.config.max_runs {
+                        break 'search;
+                    }
+                    let out = self.process_target(
+                        job,
+                        &snapshot,
+                        technique,
+                        mode,
+                        summarize,
+                        summaries.as_ref(),
+                        &smt,
+                        &validity,
+                    );
+                    self.merge_outcome(out, &mut report, &mut pending, &mut samples_acc);
+                }
+            } else {
+                let slots: Vec<OnceLock<TargetOutcome>> =
+                    jobs.iter().map(|_| OnceLock::new()).collect();
+                let cursor = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..threads.min(jobs.len()) {
+                        scope.spawn(|| loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else {
+                                break;
+                            };
+                            let out = self.process_target(
+                                job,
+                                &snapshot,
+                                technique,
                                 mode,
                                 summarize,
-                                &mut report,
-                                &mut worklist,
-                                &mut samples_acc,
+                                summaries.as_ref(),
+                                &smt,
+                                &validity,
                             );
-                        }
-                        Ok(SmtResult::Unsat) | Ok(SmtResult::Unknown) | Err(_) => {
-                            report.rejected_targets += 1;
-                        }
+                            slots[i].set(out).unwrap_or_else(|_| {
+                                unreachable!("each slot has exactly one owner")
+                            });
+                        });
                     }
+                });
+                for slot in slots {
+                    if report.runs.len() >= self.config.max_runs {
+                        break 'search;
+                    }
+                    let out = slot.into_inner().expect("worker populated slot");
+                    self.merge_outcome(out, &mut report, &mut pending, &mut samples_acc);
                 }
-                Technique::HigherOrder | Technique::HigherOrderCompositional => {
-                    self.higher_order_target(
-                        &validity,
-                        &target,
-                        &alt,
-                        id,
-                        &expected,
-                        summaries.as_ref(),
-                        &mut report,
-                        &mut worklist,
-                        &mut samples_acc,
-                    );
-                }
-                Technique::Random => unreachable!("random is not a directed search"),
             }
         }
+        let stats = smt.cache_stats().merged(validity.cache_stats());
+        report.cache_hits = stats.hits;
+        report.cache_misses = stats.misses;
         report
     }
 
-    /// Processes one target with higher-order test generation, including
-    /// multi-step probing.
+    /// Processes one target against the generation snapshot. Pure with
+    /// respect to the campaign state (worker-safe).
     #[allow(clippy::too_many_arguments)]
+    fn process_target(
+        &self,
+        job: &Job,
+        snapshot: &Samples,
+        technique: Technique,
+        mode: SymbolicMode,
+        summarize: bool,
+        summaries: Option<&SummaryTable>,
+        smt: &SmtSolver,
+        validity: &ValidityChecker,
+    ) -> TargetOutcome {
+        let mut out = TargetOutcome::default();
+        match technique {
+            Technique::DartUnsound | Technique::DartSound | Technique::DartSoundDelayed => {
+                out.solver_calls += 1;
+                match smt.check(&job.alt) {
+                    Ok(SmtResult::Sat(model)) => {
+                        let mut values = BTreeMap::new();
+                        for v in job.alt.vars() {
+                            if let Some(Value::Int(x)) = model.var(v) {
+                                values.insert(v, x);
+                            }
+                        }
+                        let inputs = self.merge_inputs(&job.target.parent_inputs, &values);
+                        let run = self.execute_run(
+                            inputs,
+                            Origin::Solved { target: job.id },
+                            Some(&job.expected),
+                            mode,
+                            summarize,
+                        );
+                        out.runs.push(run);
+                    }
+                    Ok(SmtResult::Unsat) | Ok(SmtResult::Unknown) | Err(_) => {
+                        out.rejected_targets += 1;
+                    }
+                }
+            }
+            Technique::HigherOrder | Technique::HigherOrderCompositional => {
+                self.higher_order_target(validity, job, snapshot, summaries, summarize, &mut out);
+            }
+            Technique::Random => unreachable!("random is not a directed search"),
+        }
+        out
+    }
+
+    /// Processes one target with higher-order test generation, including
+    /// multi-step probing. Probe runs extend a thread-local copy of the
+    /// generation snapshot; the merge step folds them into the global
+    /// table afterwards.
     fn higher_order_target(
         &self,
         validity: &ValidityChecker,
-        target: &Target,
-        alt: &Formula,
-        id: BranchId,
-        expected: &[(BranchId, bool)],
+        job: &Job,
+        snapshot: &Samples,
         summaries: Option<&SummaryTable>,
-        report: &mut Report,
-        worklist: &mut VecDeque<Target>,
-        samples_acc: &mut Samples,
+        summarize: bool,
+        out: &mut TargetOutcome,
     ) {
-        let summarize = summaries.is_some();
         let extra = summaries
-            .map(|t| t.antecedent_for(alt))
+            .map(|t| t.antecedent_for(&job.alt))
             .unwrap_or(Formula::True);
+        let mut local = snapshot.clone();
         let mut probes_left = self.config.max_probes_per_target;
         loop {
-            if report.runs.len() >= self.config.max_runs {
-                return;
-            }
             let samples = if self.config.cross_run_samples {
-                samples_acc.clone()
+                local.clone()
             } else {
-                target.parent_samples.clone()
+                job.target.parent_samples.clone()
             };
-            report.solver_calls += 1;
-            let outcome = match validity.check_with(self.ctx.input_vars(), &samples, &extra, alt) {
-                Ok(o) => o,
-                Err(_) => {
-                    report.rejected_targets += 1;
-                    return;
-                }
-            };
+            out.solver_calls += 1;
+            let outcome =
+                match validity.check_with(self.ctx.input_vars(), &samples, &extra, &job.alt) {
+                    Ok(o) => o,
+                    Err(_) => {
+                        out.rejected_targets += 1;
+                        return;
+                    }
+                };
             match outcome {
                 ValidityOutcome::Valid(strategy) => {
-                    self.run_strategy(
-                        &strategy,
-                        target,
-                        id,
-                        expected,
-                        summarize,
-                        &mut probes_left,
-                        report,
-                        worklist,
-                        samples_acc,
-                    );
+                    self.run_strategy(&strategy, job, &mut local, summarize, &mut probes_left, out);
                     return;
                 }
                 ValidityOutcome::NeedMoreSamples { probe, missing: _ } => {
                     if probes_left == 0 {
-                        report.rejected_targets += 1;
+                        out.rejected_targets += 1;
                         return;
                     }
                     probes_left -= 1;
-                    let inputs = self.merge_inputs(&target.parent_inputs, &probe);
-                    self.execute_and_expand(
+                    let inputs = self.merge_inputs(&job.target.parent_inputs, &probe);
+                    let run = self.execute_run(
                         inputs,
-                        Origin::Probe { target: id },
+                        Origin::Probe { target: job.id },
                         None,
                         SymbolicMode::Uninterpreted,
                         summarize,
-                        report,
-                        worklist,
-                        samples_acc,
                     );
+                    local.merge(&run.samples);
+                    out.runs.push(run);
                     // Retry validity with the enriched sample table.
                 }
                 ValidityOutcome::Invalid { .. } | ValidityOutcome::Unknown => {
-                    report.rejected_targets += 1;
+                    out.rejected_targets += 1;
                     return;
                 }
             }
@@ -456,50 +601,42 @@ impl<'p> Driver<'p> {
     }
 
     /// Interprets a validity strategy, probing for missing samples.
-    #[allow(clippy::too_many_arguments)]
     fn run_strategy(
         &self,
         strategy: &Strategy,
-        target: &Target,
-        id: BranchId,
-        expected: &[(BranchId, bool)],
+        job: &Job,
+        local: &mut Samples,
         summarize: bool,
         probes_left: &mut usize,
-        report: &mut Report,
-        worklist: &mut VecDeque<Target>,
-        samples_acc: &mut Samples,
+        out: &mut TargetOutcome,
     ) {
         loop {
-            if report.runs.len() >= self.config.max_runs {
-                return;
-            }
             let samples = if self.config.cross_run_samples {
-                samples_acc.clone()
+                local.clone()
             } else {
-                target.parent_samples.clone()
+                job.target.parent_samples.clone()
             };
             match strategy.interpret(&samples) {
                 Interpretation::Concrete(values) => {
-                    let inputs = self.merge_inputs(&target.parent_inputs, &values);
+                    let inputs = self.merge_inputs(&job.target.parent_inputs, &values);
                     let rendered = strategy.display(self.ctx.sig()).to_string();
-                    self.execute_and_expand(
+                    let run = self.execute_run(
                         inputs,
                         Origin::Strategy {
-                            target: id,
+                            target: job.id,
                             strategy: rendered,
                         },
-                        Some(expected),
+                        Some(&job.expected),
                         SymbolicMode::Uninterpreted,
                         summarize,
-                        report,
-                        worklist,
-                        samples_acc,
                     );
+                    local.merge(&run.samples);
+                    out.runs.push(run);
                     return;
                 }
                 Interpretation::NeedSamples(missing) => {
                     if *probes_left == 0 {
-                        report.rejected_targets += 1;
+                        out.rejected_targets += 1;
                         return;
                     }
                     *probes_left -= 1;
@@ -507,32 +644,31 @@ impl<'p> Driver<'p> {
                     // part of the strategy applied (paper: probe
                     // (x = 567, y = 10) to learn h(10)).
                     let partial = strategy.interpret_partial(&samples);
-                    let inputs = self.merge_inputs(&target.parent_inputs, &partial);
-                    let run = self.execute_and_expand(
+                    let inputs = self.merge_inputs(&job.target.parent_inputs, &partial);
+                    let run = self.execute_run(
                         inputs,
-                        Origin::Probe { target: id },
+                        Origin::Probe { target: job.id },
                         None,
                         SymbolicMode::Uninterpreted,
                         summarize,
-                        report,
-                        worklist,
-                        samples_acc,
                     );
+                    local.merge(&run.samples);
                     // If the probe did not record any of the missing
                     // samples, the program never evaluates those
                     // applications on this prefix: give up.
                     let learned = missing
                         .iter()
                         .any(|(f, args)| run.samples.lookup(*f, args).is_some());
+                    out.runs.push(run);
                     if !learned && !self.config.cross_run_samples {
-                        report.rejected_targets += 1;
+                        out.rejected_targets += 1;
                         return;
                     }
                     let now_known = missing
                         .iter()
-                        .all(|(f, args)| samples_acc.lookup(*f, args).is_some());
+                        .all(|(f, args)| local.lookup(*f, args).is_some());
                     if !now_known && *probes_left == 0 {
-                        report.rejected_targets += 1;
+                        out.rejected_targets += 1;
                         return;
                     }
                 }

@@ -35,7 +35,7 @@ pub enum Origin {
 }
 
 /// Record of one program execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunRecord {
     /// Flat input values.
     pub inputs: Vec<i64>,
@@ -78,6 +78,20 @@ pub struct Report {
     pub presampled_sites: usize,
     /// Total branch sites of the program (for coverage ratios).
     pub branch_sites: u32,
+    /// Solver-query cache hits (SMT results plus memoized validity
+    /// outcomes). Unlike every other field, the hit/miss split may differ
+    /// between thread counts: racing workers can each miss a key one of
+    /// them is about to fill. The cached values themselves are pure
+    /// functions of the key, so campaign *results* never depend on it.
+    pub cache_hits: u64,
+    /// Solver-query cache misses (lookups that ran the solver).
+    pub cache_misses: u64,
+    /// Number of search targets in each generation of the directed
+    /// search, in order. The width of a generation bounds how much
+    /// target-level parallelism the worker pool (`DriverConfig::threads`)
+    /// can exploit; deterministic, so identical across thread counts.
+    /// Empty for the random baseline.
+    pub generation_widths: Vec<usize>,
     /// Wall-clock duration of the campaign.
     pub elapsed: std::time::Duration,
 }
@@ -126,6 +140,23 @@ impl Report {
         out
     }
 
+    /// Cache hits as a fraction of all cached solver lookups (`0.0` when
+    /// no lookups were made).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// Widest generation of the directed search — the best single-moment
+    /// parallelism available to the worker pool. `0` when the search
+    /// never enqueued a target (e.g. the random baseline).
+    pub fn max_generation_width(&self) -> usize {
+        self.generation_widths.iter().copied().max().unwrap_or(0)
+    }
+
     /// Cumulative distinct error codes after each run.
     pub fn error_curve(&self) -> Vec<usize> {
         let mut seen = BTreeSet::new();
@@ -146,7 +177,8 @@ impl fmt::Display for Report {
             f,
             "{} on {}: {} runs ({} probes), {}/{} directions covered, \
              errors {:?}, {} divergences, {} rejected targets, {} solver calls, \
-             {} pruned statically, {} pre-sampled sites",
+             {} pruned statically, {} pre-sampled sites, \
+             cache {}/{} hits",
             self.technique,
             self.program,
             self.total_runs(),
@@ -159,6 +191,8 @@ impl fmt::Display for Report {
             self.solver_calls,
             self.targets_pruned_static,
             self.presampled_sites,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
         )
     }
 }
@@ -168,7 +202,7 @@ impl fmt::Display for Report {
 pub fn comparison_table(reports: &[Report]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<18} {:>5} {:>7} {:>9} {:>7} {:>9} {:>8} {:>7} {:>7} {:>9}  {}\n",
+        "{:<18} {:>5} {:>7} {:>9} {:>7} {:>9} {:>8} {:>7} {:>7} {:>9} {:>8} {:>9}  {}\n",
         "technique",
         "runs",
         "probes",
@@ -178,12 +212,14 @@ pub fn comparison_table(reports: &[Report]) -> String {
         "solver",
         "pruned",
         "presmp",
+        "cache",
+        "hit%",
         "time",
         "errors"
     ));
     for r in reports {
         out.push_str(&format!(
-            "{:<18} {:>5} {:>7} {:>6}/{:<2} {:>7} {:>9} {:>8} {:>7} {:>7} {:>7}ms  {:?}\n",
+            "{:<18} {:>5} {:>7} {:>6}/{:<2} {:>7} {:>9} {:>8} {:>7} {:>7} {:>9} {:>7.1}% {:>7}ms  {:?}\n",
             r.technique.label(),
             r.total_runs(),
             r.probes,
@@ -194,6 +230,8 @@ pub fn comparison_table(reports: &[Report]) -> String {
             r.solver_calls,
             r.targets_pruned_static,
             r.presampled_sites,
+            format!("{}/{}", r.cache_hits, r.cache_hits + r.cache_misses),
+            100.0 * r.cache_hit_rate(),
             r.elapsed.as_millis(),
             r.errors.keys().collect::<Vec<_>>(),
         ));
@@ -225,6 +263,9 @@ mod tests {
             targets_pruned_static: 0,
             presampled_sites: 0,
             branch_sites: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            generation_widths: vec![1],
             elapsed: std::time::Duration::from_millis(1),
         }
     }
@@ -237,7 +278,13 @@ mod tests {
         assert!(!r.found_error(2));
         assert_eq!(r.first_hit(1), Some(0));
         assert_eq!(r.covered_directions(), 1);
+        assert_eq!(r.max_generation_width(), 1);
         assert!((r.coverage_ratio() - 0.5).abs() < 1e-9);
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-9);
+        let mut empty = r.clone();
+        empty.cache_hits = 0;
+        empty.cache_misses = 0;
+        assert_eq!(empty.cache_hit_rate(), 0.0);
     }
 
     #[test]

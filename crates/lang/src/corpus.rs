@@ -291,6 +291,43 @@ pub fn crc_guard() -> (Program, NativeRegistry) {
     )
 }
 
+/// A *breadth* workload (§6 lists record parsers among the target
+/// applications): four independently-guarded record fields, each checked
+/// against the same unknown `hash` at a distinct salt. Unlike the rest of
+/// the corpus — narrow chains whose search frontier is one or two targets
+/// deep — every run here exposes a flip target per field, so the
+/// generational search fans out (generations reach width ~10 at four
+/// fields). This is the program that gives `DriverConfig::threads`
+/// something to do, and the shared `hash` means samples learned while
+/// inverting one field's guard transfer to every other field.
+pub fn fanout() -> (Program, NativeRegistry) {
+    build(
+        r#"
+        native hash/1;
+        program fanout(f: array[4], g: array[4]) {
+            let ok = 0;
+            if (f[0] == hash(g[0])) {
+                ok = ok + 1;
+            }
+            if (f[1] == hash(g[1] + 11)) {
+                ok = ok + 1;
+            }
+            if (f[2] == hash(g[2] + 22)) {
+                ok = ok + 1;
+            }
+            if (f[3] == hash(g[3] + 33)) {
+                ok = ok + 1;
+            }
+            if (ok == 4) {
+                error(1);
+            }
+            return;
+        }
+        "#,
+        hash_registry(),
+    )
+}
+
 /// A deeper chain used by the k-step generalization of Example 7: the
 /// error requires learning `hash` at several fresh points.
 pub fn kstep(k: usize) -> (Program, NativeRegistry) {
@@ -413,6 +450,7 @@ pub fn all() -> Vec<CorpusEntry> {
         ("euf_offset", euf_offset),
         ("delayed", delayed),
         ("crc_guard", crc_guard),
+        ("fanout", fanout),
         ("composed", composed),
         ("nonlinear", nonlinear),
         ("lint_demo", lint_demo),
@@ -544,6 +582,24 @@ mod tests {
         // Wrong checksum: rejected.
         let mut bad = payload.to_vec();
         bad.push(acc + 1);
+        let (o2, _) = run(&p, &n, &InputVector::new(bad), 10_000);
+        assert_eq!(o2, Outcome::Returned);
+    }
+
+    #[test]
+    fn fanout_needs_all_four_fields() {
+        let (p, n) = fanout();
+        assert_eq!(p.input_width(), 8);
+        let good: Vec<i64> = (0..4).map(|i| paper_hash(11 * i)).collect();
+        let mut inputs = good.clone();
+        inputs.extend([0i64; 4]);
+        let (o, t) = run(&p, &n, &InputVector::new(inputs), 10_000);
+        assert_eq!(o, Outcome::Error(1));
+        // Every guard evaluates its hash even when it fails.
+        assert_eq!(t.native_calls.len(), 4);
+        let mut bad = good;
+        bad[2] += 1;
+        bad.extend([0i64; 4]);
         let (o2, _) = run(&p, &n, &InputVector::new(bad), 10_000);
         assert_eq!(o2, Outcome::Returned);
     }

@@ -13,10 +13,13 @@
 use crate::ast::{BinOp, BranchId, Expr, FuncDef, Param, Program, Stmt, UnOp};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A registered native implementation (shared, dynamically typed).
-pub type NativeImpl = Rc<dyn Fn(&[i64]) -> i64>;
+///
+/// Implementations are `Send + Sync` so a registry can be shared by the
+/// worker threads of a parallel test-generation campaign.
+pub type NativeImpl = Arc<dyn Fn(&[i64]) -> i64 + Send + Sync>;
 
 /// A registry of native ("unknown") function implementations.
 ///
@@ -48,9 +51,9 @@ impl NativeRegistry {
         &mut self,
         name: impl Into<String>,
         arity: usize,
-        f: impl Fn(&[i64]) -> i64 + 'static,
+        f: impl Fn(&[i64]) -> i64 + Send + Sync + 'static,
     ) {
-        self.fns.insert(name.into(), (arity, Rc::new(f)));
+        self.fns.insert(name.into(), (arity, Arc::new(f)));
     }
 
     /// `true` if a function with this name is registered.
@@ -258,7 +261,7 @@ pub struct Trace {
     /// [`Trace::for_program`] (as [`run`] does).
     pub stmts: std::collections::BTreeSet<u32>,
     /// Statement address → pre-order id, filled by [`Trace::for_program`].
-    index: Rc<HashMap<usize, u32>>,
+    index: Arc<HashMap<usize, u32>>,
 }
 
 /// Trace equality compares the *observable* behaviour — branch directions
@@ -291,7 +294,7 @@ impl Trace {
             .map(|(id, s)| (s as *const Stmt as usize, id.0))
             .collect();
         Trace {
-            index: Rc::new(index),
+            index: Arc::new(index),
             ..Trace::default()
         }
     }

@@ -1,0 +1,205 @@
+//! Structural hashing and cache normalization of formulas.
+//!
+//! The solver's query cache (`hotg-solver`) keys memoized results on a
+//! *normalized* formula: associative connectives are flattened, duplicate
+//! operands removed (keeping first occurrence), and boolean units folded.
+//! Two path constraints that differ only in nesting or operand
+//! duplication — the common case when the driver re-assembles `ALT(pc)`
+//! prefixes across generations — then share one cache slot.
+//!
+//! Operand *order* is deliberately preserved: the solver's model search is
+//! order-sensitive (it branches on atoms in occurrence order), so sorting
+//! operands would change which model — and hence which synthesized
+//! strategy — a query produces. The driver assembles prefixes in
+//! deterministic trace order, so identical queries recur with identical
+//! operand order and still hit the cache.
+//!
+//! Normalization is a logical equivalence over the *same* atoms: it never
+//! renames variables or rewrites atoms, so a model of the normalized
+//! formula is a model of the original (and vice versa), which is what
+//! lets the cache return memoized [`Model`](crate::Model)s directly.
+
+use crate::formula::Formula;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+impl Formula {
+    /// A deterministic 64-bit structural hash of the formula.
+    ///
+    /// Stable across threads and processes (it uses the fixed-key
+    /// [`DefaultHasher`]), so fingerprints can be used in cache keys and
+    /// on-disk artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Cache normal form: flattens nested `And`/`Or`, folds boolean
+    /// units and dominators, and removes duplicate operands (keeping the
+    /// first occurrence, so operand order — which the solver's model
+    /// search is sensitive to — is preserved).
+    ///
+    /// The result is logically equivalent to `self` and built from the
+    /// same atoms, so it is sound to decide the normalized formula in
+    /// place of the original — and to reuse the resulting model.
+    pub fn normalize(&self) -> Formula {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => self.clone(),
+            Formula::Not(inner) => match inner.normalize() {
+                Formula::True => Formula::False,
+                Formula::False => Formula::True,
+                Formula::Not(f) => *f,
+                f => Formula::Not(Box::new(f)),
+            },
+            Formula::And(parts) => normalize_nary(parts, true),
+            Formula::Or(parts) => normalize_nary(parts, false),
+        }
+    }
+}
+
+/// Shared normalization of `And` (`conj = true`) and `Or` (`conj = false`):
+/// the two differ only in their unit (`True` vs `False`), dominator, and
+/// rebuilt constructor.
+fn normalize_nary(parts: &[Formula], conj: bool) -> Formula {
+    let (unit, dominator) = if conj {
+        (Formula::True, Formula::False)
+    } else {
+        (Formula::False, Formula::True)
+    };
+    let mut flat: Vec<Formula> = Vec::with_capacity(parts.len());
+    for p in parts {
+        let n = p.normalize();
+        if n == dominator {
+            return dominator;
+        }
+        if n == unit {
+            continue;
+        }
+        match n {
+            Formula::And(inner) if conj => flat.extend(inner),
+            Formula::Or(inner) if !conj => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    // Stable dedup: fingerprints pre-filter, equality decides.
+    let mut seen: Vec<(u64, usize)> = Vec::with_capacity(flat.len());
+    let mut out: Vec<Formula> = Vec::with_capacity(flat.len());
+    for f in flat {
+        let fp = f.fingerprint();
+        if seen.iter().any(|&(sfp, idx)| sfp == fp && out[idx] == f) {
+            continue;
+        }
+        seen.push((fp, out.len()));
+        out.push(f);
+    }
+    match out.len() {
+        0 => unit,
+        1 => out.pop().expect("len checked"),
+        _ if conj => Formula::And(out),
+        _ => Formula::Or(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Rel};
+    use crate::model::Model;
+    use crate::sort::{Sort, Value};
+    use crate::sym::Signature;
+    use crate::term::Term;
+
+    fn setup() -> (Signature, crate::sym::Var, crate::sym::Var) {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        (sig, x, y)
+    }
+
+    fn gt0(v: crate::sym::Var) -> Formula {
+        Formula::atom(Atom::new(Term::var(v), Rel::Gt, Term::int(0)))
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let (_, x, y) = setup();
+        assert_eq!(gt0(x).fingerprint(), gt0(x).fingerprint());
+        assert_ne!(gt0(x).fingerprint(), gt0(y).fingerprint());
+    }
+
+    #[test]
+    fn normalize_preserves_operand_order() {
+        let (_, x, y) = setup();
+        let a = gt0(x).and(gt0(y));
+        let b = gt0(y).and(gt0(x));
+        assert_eq!(a.normalize(), a.normalize());
+        assert_ne!(
+            a.normalize(),
+            b.normalize(),
+            "order is significant: the solver's model search branches in \
+             occurrence order"
+        );
+        // Nesting-insensitive: the same conjuncts in the same order share
+        // one normal form regardless of how the And tree was built.
+        let nested = Formula::And(vec![Formula::And(vec![gt0(x)]), gt0(y)]);
+        assert_eq!(nested.normalize(), a.normalize());
+        assert_eq!(
+            nested.normalize().fingerprint(),
+            a.normalize().fingerprint()
+        );
+    }
+
+    #[test]
+    fn normalize_flattens_and_dedups() {
+        let (_, x, y) = setup();
+        let nested = Formula::And(vec![
+            Formula::And(vec![gt0(x), gt0(y)]),
+            gt0(x),
+            Formula::True,
+        ]);
+        let n = nested.normalize();
+        match &n {
+            Formula::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(n, gt0(x).and(gt0(y)).normalize());
+    }
+
+    #[test]
+    fn normalize_folds_units_and_dominators() {
+        let (_, x, _) = setup();
+        assert_eq!(Formula::And(vec![]).normalize(), Formula::True);
+        assert_eq!(Formula::Or(vec![]).normalize(), Formula::False);
+        assert_eq!(
+            Formula::And(vec![gt0(x), Formula::False]).normalize(),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::Or(vec![gt0(x), Formula::True]).normalize(),
+            Formula::True
+        );
+        assert_eq!(Formula::And(vec![gt0(x)]).normalize(), gt0(x));
+        assert_eq!(
+            Formula::Not(Box::new(Formula::Not(Box::new(gt0(x))))).normalize(),
+            gt0(x)
+        );
+    }
+
+    #[test]
+    fn normalize_preserves_semantics() {
+        let (_, x, y) = setup();
+        let f = Formula::Or(vec![
+            gt0(x).and(gt0(y)),
+            Formula::Not(Box::new(gt0(x))),
+            gt0(y).and(gt0(x)),
+        ]);
+        let n = f.normalize();
+        for (xv, yv) in [(1, 1), (1, -1), (-1, 1), (-1, -1)] {
+            let mut m = Model::new();
+            m.set_var(x, Value::Int(xv));
+            m.set_var(y, Value::Int(yv));
+            assert_eq!(f.eval(&m), n.eval(&m), "x={xv} y={yv}");
+        }
+    }
+}

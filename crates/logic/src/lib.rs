@@ -45,6 +45,7 @@
 
 mod atom;
 mod formula;
+mod hash;
 mod linear;
 mod model;
 mod rat;

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod atoms;
+pub mod cache;
 pub mod euf;
 pub mod lia;
 pub mod simplex;
 pub mod smt;
 pub mod validity;
 
+pub use cache::{CacheStats, Keyed, QueryCache};
 pub use smt::{SmtConfig, SmtResult, SmtSolver};
 pub use validity::{
     CounterInterp, Interpretation, Samples, Strategy, StrategyBinding, ValidityChecker,

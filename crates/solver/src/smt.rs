@@ -10,10 +10,12 @@
 //! abstraction with simplex + branch-and-bound as the theory oracle.
 
 use crate::atoms::{eq_split, negate_le, normalize, NormAtom, Prim};
+use crate::cache::{CacheStats, Keyed, QueryCache};
 use crate::lia::{solve_int, solve_int_budgeted, ConKind, IntConstraint, LiaConfig, LiaResult};
 use hotg_logic::{Atom, Formula, LinKey, Model, NonLinearError, Term, Value};
 use hotg_sat::{Lit, SatResult, SatSolver};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of an SMT satisfiability check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +48,11 @@ pub struct SmtConfig {
     /// a hard query can pay the full per-round LIA budget `max_rounds`
     /// times — hours of wall clock — before conceding `Unknown`.
     pub total_node_budget: u64,
+    /// Emit an `eprintln!` trace line for slow queries. Resolved from the
+    /// `HOTG_SMT_TRACE` environment variable **once**, at configuration
+    /// construction time — `check` sits on the campaign hot path and must
+    /// not pay an env lookup per query.
+    pub trace: bool,
 }
 
 impl SmtConfig {
@@ -55,6 +62,7 @@ impl SmtConfig {
             lia: LiaConfig::default(),
             max_rounds: 100_000,
             total_node_budget: 120_000,
+            trace: std::env::var_os("HOTG_SMT_TRACE").is_some(),
         }
     }
 }
@@ -88,6 +96,9 @@ impl Default for SmtConfig {
 #[derive(Clone, Debug, Default)]
 pub struct SmtSolver {
     config: SmtConfig,
+    /// Memo table over *normalized* input formulas. Shared by clones of
+    /// this solver (and by the worker threads of a parallel campaign).
+    cache: Arc<QueryCache<Keyed<Formula>, SmtResult>>,
 }
 
 #[derive(Debug)]
@@ -200,19 +211,25 @@ impl Encoder {
 impl SmtSolver {
     /// Creates a solver with the default configuration.
     pub fn new() -> SmtSolver {
-        SmtSolver {
-            config: SmtConfig::new(),
-        }
+        SmtSolver::with_config(SmtConfig::new())
     }
 
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SmtConfig) -> SmtSolver {
-        SmtSolver { config }
+        SmtSolver {
+            config,
+            cache: Arc::new(QueryCache::new()),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SmtConfig {
         &self.config
+    }
+
+    /// Hit/miss counters of the query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Conjoins functional-consistency (Ackermann) clauses for every pair
@@ -250,12 +267,22 @@ impl SmtSolver {
     /// concretization or uninterpreted functions first — that is the whole
     /// point of the paper.
     pub fn check(&self, formula: &Formula) -> Result<SmtResult, NonLinearError> {
-        let trace = std::env::var_os("HOTG_SMT_TRACE").is_some();
         let start = std::time::Instant::now();
-        let full = Self::ackermannize(&formula.nnf());
+        // Normalization (flatten/sort/dedup) is a logical equivalence over
+        // the same atoms, so the memoized result — including a SAT model —
+        // transfers to every formula with the same normal form.
+        let norm = formula.nnf().normalize();
+        let key = Keyed::new(norm.fingerprint(), norm);
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached);
+        }
+        let full = Self::ackermannize(key.payload());
 
         let result = self.check_inner(&full);
-        if trace && start.elapsed().as_millis() > 200 {
+        if let Ok(r) = &result {
+            self.cache.insert(key, r.clone());
+        }
+        if self.config.trace && start.elapsed().as_millis() > 200 {
             eprintln!(
                 "[smt] {}ms apps={} result={:?}",
                 start.elapsed().as_millis(),

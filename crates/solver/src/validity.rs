@@ -26,17 +26,34 @@
 //! `A ∧ ¬pc[σ]` must be unsatisfiable, which (since the function symbols
 //! are free) is exactly `∀F : A ⇒ pc[σ]`.
 
+use crate::cache::{CacheStats, Keyed, QueryCache};
 use crate::smt::{SmtResult, SmtSolver};
 use hotg_logic::{Atom, Formula, FuncSym, Model, NonLinearError, Rel, Signature, Term, Value, Var};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// The table `IOF` of recorded uninterpreted-function samples
 /// `(c, f(args))` (paper Figure 3, line 13).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Samples {
     entries: BTreeMap<FuncSym, BTreeMap<Vec<i64>, i64>>,
+    /// Memoized antecedent conjunction; reset whenever `record` actually
+    /// inserts a new pair, so repeated validity queries over a stable
+    /// table do not rebuild the formula.
+    antecedent: OnceLock<Formula>,
 }
+
+/// Equality is over the recorded pairs only — the memoized antecedent is
+/// derived state.
+impl PartialEq for Samples {
+    fn eq(&self, other: &Samples) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for Samples {}
 
 impl Samples {
     /// Creates an empty table.
@@ -54,6 +71,7 @@ impl Samples {
             Some(&prev) => prev == out,
             None => {
                 slot.insert(args, out);
+                self.antecedent = OnceLock::new();
                 true
             }
         }
@@ -97,16 +115,28 @@ impl Samples {
     }
 
     /// The antecedent `A`: the conjunction of all recorded equalities
-    /// `f(args) = out`.
+    /// `f(args) = out`. Memoized until the next successful [`Samples::record`].
     pub fn to_antecedent(&self) -> Formula {
-        let mut out = Formula::True;
-        for (f, m) in &self.entries {
-            for (args, val) in m {
-                let app = Term::app(*f, args.iter().map(|&a| Term::int(a)).collect());
-                out = out.and(Formula::atom(Atom::eq(app, Term::int(*val))));
-            }
-        }
-        out
+        self.antecedent
+            .get_or_init(|| {
+                let mut out = Formula::True;
+                for (f, m) in &self.entries {
+                    for (args, val) in m {
+                        let app = Term::app(*f, args.iter().map(|&a| Term::int(a)).collect());
+                        out = out.and(Formula::atom(Atom::eq(app, Term::int(*val))));
+                    }
+                }
+                out
+            })
+            .clone()
+    }
+
+    /// A deterministic structural fingerprint of the recorded pairs
+    /// (`BTreeMap` iteration order makes it canonical).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.entries.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -355,6 +385,46 @@ impl Default for ValidityConfig {
 pub struct ValidityChecker {
     config: ValidityConfig,
     solver: SmtSolver,
+    /// Memo of whole validity outcomes, keyed on the normalized query.
+    /// Shared by clones of this checker (and campaign worker threads).
+    memo: Arc<QueryCache<Keyed<ValidityQuery>, ValidityOutcome>>,
+}
+
+/// Exact memo key of one validity query: the outcome of
+/// [`ValidityChecker::check_with`] is a pure function of these fields (for
+/// a fixed configuration), because the check runs on the *normalized*
+/// formulas stored here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ValidityQuery {
+    inputs: Vec<Var>,
+    samples: Samples,
+    extra: Formula,
+    pc: Formula,
+}
+
+impl ValidityQuery {
+    fn keyed(
+        inputs: &[Var],
+        samples: &Samples,
+        extra: Formula,
+        pc: Formula,
+    ) -> Keyed<ValidityQuery> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u64(pc.fingerprint());
+        h.write_u64(extra.fingerprint());
+        h.write_u64(samples.fingerprint());
+        inputs.hash(&mut h);
+        let fp = h.finish();
+        Keyed::new(
+            fp,
+            ValidityQuery {
+                inputs: inputs.to_vec(),
+                samples: samples.clone(),
+                extra,
+                pc,
+            },
+        )
+    }
 }
 
 impl ValidityChecker {
@@ -368,7 +438,14 @@ impl ValidityChecker {
         ValidityChecker {
             solver: SmtSolver::with_config(config.smt),
             config,
+            memo: Arc::new(QueryCache::new()),
         }
+    }
+
+    /// Combined hit/miss counters of the outcome memo and the underlying
+    /// SMT solver's query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.memo.stats().merged(self.solver.cache_stats())
     }
 
     /// Checks validity of `POST(pc) = ∃X : A ⇒ pc` with all function
@@ -394,6 +471,31 @@ impl ValidityChecker {
     /// instantiated function-summary implications, which — like samples —
     /// are universally true statements about the unknown functions.
     pub fn check_with(
+        &self,
+        inputs: &[Var],
+        samples: &Samples,
+        extra_antecedent: &Formula,
+        pc: &Formula,
+    ) -> Result<ValidityOutcome, NonLinearError> {
+        // Normalize *before* checking: the computation below then depends
+        // only on the memo key, so a memoized outcome is exactly what a
+        // fresh computation would produce — racing workers that miss the
+        // same key concurrently still all return the same outcome, which
+        // keeps parallel campaigns bit-identical to sequential ones.
+        let pc = pc.normalize();
+        let extra_antecedent = extra_antecedent.normalize();
+        let key = ValidityQuery::keyed(inputs, samples, extra_antecedent.clone(), pc.clone());
+        if let Some(outcome) = self.memo.get(&key) {
+            return Ok(outcome);
+        }
+        let outcome = self.check_uncached(inputs, samples, &extra_antecedent, &pc)?;
+        self.memo.insert(key, outcome.clone());
+        Ok(outcome)
+    }
+
+    /// The uncached body of [`ValidityChecker::check_with`]; `pc` and
+    /// `extra_antecedent` are already normalized.
+    fn check_uncached(
         &self,
         inputs: &[Var],
         samples: &Samples,
