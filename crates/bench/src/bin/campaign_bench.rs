@@ -4,10 +4,12 @@
 //! repo root by default).
 //!
 //! ```text
-//! campaign-bench [--reduced] [--out PATH] [--threads N]
+//! campaign-bench [--reduced] [--chaos] [--out PATH] [--threads N]
 //! ```
 //!
 //! * `--reduced` shrinks the corpus and run budget for CI smoke runs.
+//! * `--chaos` additionally runs every selected program under a
+//!   fault-injection plan and records the fault accounting.
 //! * `--out PATH` overrides the output path.
 //! * `--threads N` overrides the worker-pool size of the parallel
 //!   measurement (default: 4).
@@ -16,10 +18,10 @@
 //! "Campaign benchmark").
 
 use hotg_bench::paper_examples;
-use hotg_core::{Driver, DriverConfig, Report, Technique};
+use hotg_core::{Driver, DriverConfig, FaultPlan, Report, Technique};
 use hotg_lang::corpus;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Programs exercised in `--reduced` mode: the paper's headline examples
 /// plus one EUF program, enough to exercise every driver path cheaply.
@@ -27,6 +29,7 @@ const REDUCED_PROGRAMS: [&str; 4] = ["obscure", "foo", "bar", "euf_eq"];
 
 struct Args {
     reduced: bool,
+    chaos: bool,
     out: String,
     threads: usize,
 }
@@ -34,6 +37,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         reduced: false,
+        chaos: false,
         out: "BENCH_campaign.json".to_string(),
         threads: 4,
     };
@@ -41,6 +45,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--reduced" => args.reduced = true,
+            "--chaos" => args.chaos = true,
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
             }
@@ -58,7 +63,7 @@ fn parse_args() -> Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("campaign-bench: {msg}");
-    eprintln!("usage: campaign-bench [--reduced] [--out PATH] [--threads N]");
+    eprintln!("usage: campaign-bench [--reduced] [--chaos] [--out PATH] [--threads N]");
     std::process::exit(2);
 }
 
@@ -122,6 +127,51 @@ fn row_json(program: &str, r: &Report, wall_ms: f64) -> String {
     )
 }
 
+fn chaos_row_json(program: &str, seed: u64, r: &Report, wall_ms: f64) -> String {
+    let inj = r.faults_injected;
+    format!(
+        "{{\"program\": {}, \"technique\": {}, \"seed\": {}, \"wall_ms\": {:.3}, \
+         \"runs\": {}, \"injected\": {{\"solver_unknowns\": {}, \"solver_errs\": {}, \
+         \"interp_faults\": {}, \"probe_failures\": {}, \"worker_panics\": {}}}, \
+         \"solver_errors\": {}, \"targets_degraded\": {}, \"targets_faulted\": {}, \
+         \"divergences\": {}}}",
+        json_str(program),
+        json_str(r.technique.label()),
+        seed,
+        wall_ms,
+        r.total_runs(),
+        inj.solver_unknowns,
+        inj.solver_errs,
+        inj.interp_faults,
+        inj.probe_failures,
+        inj.worker_panics,
+        r.solver_errors,
+        r.targets_degraded,
+        r.targets_faulted,
+        r.divergences,
+    )
+}
+
+/// Silence the default panic-hook chatter for the chaos legs: injected
+/// worker panics are expected and caught by the driver, so their
+/// payloads (tagged `chaos:`) should not spam stderr.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("chaos:"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("chaos:"));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
 fn main() {
     let args = parse_args();
     let max_runs = if args.reduced { 40 } else { 200 };
@@ -148,6 +198,38 @@ fn main() {
                 report
             );
             rows.push(row_json(name, &report, wall_ms));
+        }
+    }
+
+    // Chaos legs: the same program selection under a deterministic
+    // fault-injection plan. Every campaign must terminate and keep its
+    // books straight; the row records the injected-fault accounting.
+    let mut chaos_rows = Vec::new();
+    if args.chaos {
+        quiet_injected_panics();
+        for (name, ctor) in &programs {
+            let (program, natives) = ctor();
+            let width = program.input_width();
+            for seed in [1u64, 2] {
+                let cfg = DriverConfig {
+                    fault_plan: Some(FaultPlan::uniform(seed, 0.2)),
+                    target_deadline: Some(Duration::from_secs(10)),
+                    ..config(width, max_runs, 1)
+                };
+                let driver = Driver::new(&program, &natives, cfg);
+                let start = Instant::now();
+                let report = driver.run(Technique::HigherOrder);
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                eprintln!(
+                    "chaos {name:<14} seed {seed} {:>7.1}ms  {} injected, \
+                     {} faulted, {} degraded",
+                    wall_ms,
+                    report.faults_injected.total(),
+                    report.targets_faulted,
+                    report.targets_degraded,
+                );
+                chaos_rows.push(chaos_row_json(name, seed, &report, wall_ms));
+            }
         }
     }
 
@@ -205,9 +287,10 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/1\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/2\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
-         \"failed_claims\": {},\n  \"parallel\": {{\"technique\": \"higher-order\", \
+         \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
+         \"parallel\": {{\"technique\": \"higher-order\", \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
          \"speedup\": {:.3}}}\n}}\n",
@@ -216,6 +299,7 @@ fn main() {
         rows.join(",\n    "),
         claims.join(",\n    "),
         failed_claims,
+        chaos_rows.join(",\n    "),
         threads,
         host_threads,
         widest,

@@ -21,8 +21,8 @@
 use crate::context::ConcolicContext;
 use crate::path::PathConstraint;
 use hotg_lang::{
-    eval_binop, BinOp, Expr, FuncDef, InputVector, NativeRegistry, Outcome, Param, Program, Stmt,
-    Trace, UnOp,
+    eval_binop, BinOp, Expr, Fault, FaultKind, FuncDef, InputVector, NativeRegistry, Outcome,
+    Param, Program, Stmt, Trace, UnOp,
 };
 use hotg_lang::{CVal, Slot};
 use hotg_logic::{Atom, Formula, Rel, Term};
@@ -166,19 +166,25 @@ enum Flow {
 /// Why expression evaluation aborted: a local fault or a whole-program
 /// stop raised inside an inlined function call.
 enum Halt {
-    Fault(String),
+    Fault(Fault),
     Stop(Outcome),
+}
+
+impl From<Fault> for Halt {
+    fn from(f: Fault) -> Halt {
+        Halt::Fault(f)
+    }
 }
 
 impl From<String> for Halt {
     fn from(m: String) -> Halt {
-        Halt::Fault(m)
+        Halt::Fault(Fault::other(m))
     }
 }
 
 impl From<&str> for Halt {
     fn from(m: &str) -> Halt {
-        Halt::Fault(m.to_string())
+        Halt::Fault(Fault::other(m.to_string()))
     }
 }
 
@@ -430,8 +436,9 @@ impl Executor<'_> {
                             .ok()
                             .and_then(|i| items.get(i).copied())
                             .ok_or_else(|| {
-                                Halt::Fault(format!(
-                                    "index {i} out of bounds for `{name}` (len {len})"
+                                Halt::Fault(Fault::new(
+                                    FaultKind::OutOfBounds,
+                                    format!("index {i} out of bounds for `{name}` (len {len})"),
                                 ))
                             })?
                     }
@@ -461,10 +468,12 @@ impl Executor<'_> {
             }
             Expr::Unary(UnOp::Neg, inner) => {
                 let (c, s) = self.eval_both(inner, fuel)?;
-                let v = c
-                    .int()?
-                    .checked_neg()
-                    .ok_or_else(|| Halt::Fault("arithmetic overflow in negation".into()))?;
+                let v = c.int()?.checked_neg().ok_or_else(|| {
+                    Halt::Fault(Fault::new(
+                        FaultKind::Overflow,
+                        "arithmetic overflow in negation",
+                    ))
+                })?;
                 (CVal::Int(v), Sym::I(-s.int()))
             }
             Expr::Unary(UnOp::Not, inner) => {
@@ -487,7 +496,7 @@ impl Executor<'_> {
                     terms.push(s.int());
                 }
                 if self.natives.contains(name) {
-                    let out = self.natives.call(name, &cvals)?;
+                    let out = self.natives.call(name, &cvals).map_err(Fault::native)?;
                     self.trace
                         .native_calls
                         .push((name.clone(), cvals.clone(), out));
@@ -578,9 +587,8 @@ impl Executor<'_> {
         self.senv = saved_senv;
         match flow.map_err(Halt::Fault)? {
             Flow::ReturnVal(v, t) => Ok((v, t)),
-            Flow::Continue | Flow::Stop(Outcome::Returned) => Err(Halt::Fault(format!(
-                "fn `{}` terminated without returning a value",
-                def.name
+            Flow::Continue | Flow::Stop(Outcome::Returned) => Err(Halt::Fault(Fault::other(
+                format!("fn `{}` terminated without returning a value", def.name),
             ))),
             Flow::Stop(o) => Err(Halt::Stop(o)),
         }
@@ -668,7 +676,7 @@ impl Executor<'_> {
         }
     }
 
-    fn block(&mut self, body: &[Stmt], fuel: &mut u64) -> Result<Flow, String> {
+    fn block(&mut self, body: &[Stmt], fuel: &mut u64) -> Result<Flow, Fault> {
         for s in body {
             if *fuel == 0 {
                 return Ok(Flow::Stop(Outcome::OutOfFuel));
@@ -690,11 +698,11 @@ impl Executor<'_> {
                     let v = c.int()?;
                     match self.env.get_mut(name) {
                         Some(Slot::Scalar(slot)) => *slot = v,
-                        _ => return Err(format!("assignment to unbound `{name}`")),
+                        _ => return Err(format!("assignment to unbound `{name}`").into()),
                     }
                     match self.senv.get_mut(name) {
                         Some(SymSlot::Scalar(slot)) => *slot = sym.int(),
-                        _ => return Err(format!("assignment to unbound symbolic `{name}`")),
+                        _ => return Err(format!("assignment to unbound symbolic `{name}`").into()),
                     }
                 }
                 Stmt::AssignIndex(name, idx, val) => {
@@ -717,18 +725,21 @@ impl Executor<'_> {
                                 .ok()
                                 .and_then(|i| items.get_mut(i))
                                 .ok_or_else(|| {
-                                    format!("index {i} out of bounds for `{name}` (len {len})")
+                                    Fault::new(
+                                        FaultKind::OutOfBounds,
+                                        format!("index {i} out of bounds for `{name}` (len {len})"),
+                                    )
                                 })?;
                             *slot = v;
                         }
                         Some(Slot::Scalar(_)) => {
-                            return Err(format!("cannot index scalar `{name}`"))
+                            return Err(format!("cannot index scalar `{name}`").into())
                         }
-                        None => return Err(format!("assignment to unbound `{name}`")),
+                        None => return Err(format!("assignment to unbound `{name}`").into()),
                     }
                     match self.senv.get_mut(name) {
                         Some(SymSlot::Array(items)) => items[i as usize] = val_term,
-                        _ => return Err(format!("unbound symbolic array `{name}`")),
+                        _ => return Err(format!("unbound symbolic array `{name}`").into()),
                     }
                 }
                 Stmt::If {

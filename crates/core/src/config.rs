@@ -1,6 +1,8 @@
 //! Driver configuration.
 
+use crate::chaos::FaultPlan;
 use hotg_solver::ValidityConfig;
+use std::time::Duration;
 
 /// The four test-generation techniques compared throughout the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -99,6 +101,39 @@ pub struct DriverConfig {
     /// may differ). `1` processes targets inline on the calling thread;
     /// the default is the machine's available parallelism.
     pub threads: usize,
+    /// Wall-clock budget for one search target (solver queries, strategy
+    /// interpretation, probes, degradation attempts). The cutoff is
+    /// cooperative: it is threaded into the solver stack as a
+    /// [`Deadline`](hotg_solver::Deadline) polled per branch-and-bound
+    /// node, so an expired target concedes `Unknown` and enters the
+    /// degradation ladder instead of stalling the campaign. `None` (the
+    /// default) disables the cutoff — campaigns stay bit-identical across
+    /// thread counts only when no deadline fires, so deterministic
+    /// experiments should leave this unset.
+    pub target_deadline: Option<Duration>,
+    /// Wall-clock budget for the whole campaign. Checked between
+    /// generations and between merged targets; also bounds every
+    /// per-target deadline. A campaign that hits it stops early and sets
+    /// [`Report::campaign_timed_out`](crate::Report::campaign_timed_out).
+    pub campaign_deadline: Option<Duration>,
+    /// Budget-escalation factor for one retry of a solver/validity query
+    /// that conceded `Unknown`: the retry runs detached (private caches,
+    /// so the inflated verdict never leaks into other targets) with the
+    /// node budgets multiplied by this factor. Values `<= 1.0` (the
+    /// default `0.0`) disable the retry.
+    pub retry_escalation: f64,
+    /// Theorem 4's fallback as a *degradation ladder*: when a validity
+    /// check or alternate-path query concedes `Unknown` (or errors), the
+    /// same branch-flip target is re-attempted under sound concretization
+    /// and then — as a last, unsound resort — under DART's default
+    /// concretization. Each demotion is recorded in
+    /// [`Report::degradations`](crate::Report::degradations).
+    pub degradation_ladder: bool,
+    /// Deterministic fault injection (chaos testing): probabilities for
+    /// forcing solver `Unknown`s/errors, synthetic interpreter faults,
+    /// probe sample loss, and worker panics. `None` (the default) injects
+    /// nothing. See [`FaultPlan`].
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DriverConfig {
@@ -117,6 +152,11 @@ impl Default for DriverConfig {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            target_deadline: None,
+            campaign_deadline: None,
+            retry_escalation: 0.0,
+            degradation_ladder: true,
+            fault_plan: None,
         }
     }
 }
@@ -152,6 +192,14 @@ mod tests {
         assert!(c.cross_run_samples);
         assert!(c.static_pruning);
         assert!(c.threads >= 1);
+        // Resilience features default to deterministic behaviour: no
+        // deadlines, no escalation retries, no fault injection — only the
+        // (deterministic) degradation ladder is on.
+        assert_eq!(c.target_deadline, None);
+        assert_eq!(c.campaign_deadline, None);
+        assert_eq!(c.retry_escalation, 0.0);
+        assert!(c.degradation_ladder);
+        assert!(c.fault_plan.is_none());
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
     }

@@ -35,14 +35,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod config;
 mod driver;
 mod report;
 mod summaries;
 
+pub use chaos::{FaultCounters, FaultPlan, FaultSite};
 pub use config::{DriverConfig, Technique};
 pub use driver::Driver;
-pub use report::{comparison_table, Origin, Report, RunRecord};
+pub use report::{
+    comparison_table, DegradationLevel, DegradationReason, DegradationRecord, Origin, Report,
+    RunRecord,
+};
 pub use summaries::{FuncSummary, SummaryConfig, SummaryPath, SummaryTable};
 
 #[cfg(test)]

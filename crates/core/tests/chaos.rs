@@ -1,0 +1,435 @@
+//! Resilience properties of the campaign engine under deterministic
+//! fault injection (`DriverConfig::fault_plan`), plus the degradation
+//! ladder, deadline, and escalation behaviours they exercise.
+//!
+//! The core contract: a campaign bombarded with injected solver
+//! `Unknown`s/errors, synthetic interpreter faults, lost probe samples,
+//! and worker panics must still
+//!
+//! 1. terminate,
+//! 2. stay sound — no run of a sound technique is flagged divergent
+//!    unless the degradation ladder demoted its target, and
+//! 3. account for every fault it absorbed: the report's counters must
+//!    reconcile with `Report::faults_injected`.
+//!
+//! Because injection decisions are pure functions of the plan seed and
+//! schedule-independent keys, injected campaigns are also bit-identical
+//! across thread counts.
+
+use hotg_core::{DegradationLevel, Driver, DriverConfig, FaultPlan, Origin, Report, Technique};
+use hotg_lang::{corpus, FaultKind, Outcome};
+use hotg_solver::ValidityConfig;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Replaces the default panic hook with one that stays silent for the
+/// driver's injected worker panics (they are expected by the hundreds
+/// here); anything else still prints.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Is this run's outcome an injected interpreter fault?
+fn is_injected_fault(outcome: &Outcome) -> bool {
+    matches!(outcome, Outcome::RuntimeFault(f) if f.kind == FaultKind::Injected)
+}
+
+/// The full resilience contract for one injected campaign.
+fn check_invariants(report: &Report, technique: Technique, label: &str) {
+    let inj = &report.faults_injected;
+
+    // Injected solver errors surface in the solver-error counter (the
+    // driver may add organic ones on top, never fewer).
+    assert!(
+        report.solver_errors >= inj.solver_errs,
+        "{label}: {} solver errors < {} injected",
+        report.solver_errors,
+        inj.solver_errs
+    );
+
+    // Every faulted target corresponds to an injected panic — an organic
+    // worker panic would be a driver bug.
+    assert_eq!(
+        report.targets_faulted, inj.worker_panics,
+        "{label}: faulted targets do not match injected panics"
+    );
+
+    // Injected interpreter faults: the run records, the per-kind fault
+    // table, and the injection counter must all agree.
+    let injected_runs = report
+        .runs
+        .iter()
+        .filter(|r| is_injected_fault(&r.outcome))
+        .count();
+    assert_eq!(
+        injected_runs, inj.interp_faults,
+        "{label}: injected-fault runs do not match the counter"
+    );
+    assert_eq!(
+        report
+            .fault_kinds
+            .get(&FaultKind::Injected)
+            .copied()
+            .unwrap_or(0),
+        inj.interp_faults,
+        "{label}: fault-kind table disagrees with the injection counter"
+    );
+
+    // A probe can only fail if it ran.
+    assert!(
+        inj.probe_failures <= report.probes,
+        "{label}: more failed probes than probes"
+    );
+
+    // An injected fault is not a verdict on the technique: it must never
+    // be flagged as a divergence.
+    for r in &report.runs {
+        if is_injected_fault(&r.outcome) {
+            assert_eq!(
+                r.diverged, None,
+                "{label}: injected fault flagged divergent"
+            );
+        }
+    }
+
+    // Soundness: only unsound concretization may diverge. For every
+    // sound technique a divergent run must come from the degradation
+    // ladder, which demoted the target out of the technique's own mode.
+    if technique != Technique::DartUnsound {
+        for r in &report.runs {
+            if r.diverged == Some(true) {
+                assert!(
+                    matches!(r.origin, Origin::Degraded { .. }),
+                    "{label}: sound technique diverged via {:?}",
+                    r.origin
+                );
+            }
+        }
+    }
+
+    // Degradation accounting: the per-target counter never exceeds the
+    // rung records, and recovered rungs produced degraded-origin runs.
+    assert!(
+        report.targets_degraded <= report.degradations.len(),
+        "{label}: more degraded targets than recorded rungs"
+    );
+    let recovered = report.degradations.iter().filter(|d| d.recovered).count();
+    let degraded_runs = report
+        .runs
+        .iter()
+        .filter(|r| matches!(r.origin, Origin::Degraded { .. }))
+        .count();
+    assert_eq!(
+        recovered, degraded_runs,
+        "{label}: recovered rungs do not match degraded-origin runs"
+    );
+}
+
+/// Every corpus program × every technique × 8 fault-plan seeds: the
+/// campaign terminates, stays sound, and its counters reconcile.
+#[test]
+fn injected_campaigns_terminate_sound_and_accounted() {
+    quiet_injected_panics();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            for seed in 0..8u64 {
+                let config = DriverConfig {
+                    max_runs: 10,
+                    fault_plan: Some(FaultPlan::uniform(seed, 0.2)),
+                    // A generous safety net: chaos must not stall a
+                    // campaign even when every fault site is live.
+                    target_deadline: Some(Duration::from_secs(10)),
+                    threads: 1,
+                    ..DriverConfig::with_initial(vec![0; width])
+                };
+                let report = Driver::new(&program, &natives, config).run(technique);
+                check_invariants(&report, technique, &format!("{name}/{technique}/{seed}"));
+                assert!(report.total_runs() <= 10, "{name}/{technique}/{seed}");
+            }
+        }
+    }
+}
+
+/// Injection decisions are keyed on schedule-independent data, so an
+/// injected campaign is still bit-identical across thread counts.
+#[test]
+fn injected_campaigns_are_deterministic_across_threads() {
+    quiet_injected_panics();
+    for (name, ctor) in [
+        ("obscure", corpus::obscure as fn() -> _),
+        ("foo", corpus::foo),
+        ("composed", corpus::composed),
+    ] {
+        for seed in 0..4u64 {
+            let (program, natives) = ctor();
+            let width = program.input_width();
+            let base = DriverConfig {
+                max_runs: 25,
+                fault_plan: Some(FaultPlan::uniform(seed, 0.25)),
+                ..DriverConfig::with_initial(vec![0; width])
+            };
+            let seq = Driver::new(
+                &program,
+                &natives,
+                DriverConfig {
+                    threads: 1,
+                    ..base.clone()
+                },
+            )
+            .run(Technique::HigherOrder);
+            let par = Driver::new(
+                &program,
+                &natives,
+                DriverConfig {
+                    threads: 4,
+                    ..base.clone()
+                },
+            )
+            .run(Technique::HigherOrder);
+            let label = format!("{name}/seed {seed}");
+            assert_eq!(seq.runs, par.runs, "{label}: runs differ");
+            assert_eq!(seq.errors, par.errors, "{label}: errors differ");
+            assert_eq!(
+                seq.rejected_targets, par.rejected_targets,
+                "{label}: rejections differ"
+            );
+            assert_eq!(
+                seq.solver_errors, par.solver_errors,
+                "{label}: solver errors differ"
+            );
+            assert_eq!(
+                seq.targets_faulted, par.targets_faulted,
+                "{label}: faulted targets differ"
+            );
+            assert_eq!(
+                seq.degradations, par.degradations,
+                "{label}: degradations differ"
+            );
+            assert_eq!(
+                seq.faults_injected, par.faults_injected,
+                "{label}: injected-fault counters differ"
+            );
+        }
+    }
+}
+
+/// A plan injecting nothing behaves exactly like no plan at all.
+#[test]
+fn disabled_fault_plan_is_inert() {
+    let (program, natives) = corpus::foo();
+    let base = DriverConfig {
+        max_runs: 25,
+        threads: 1,
+        ..DriverConfig::with_initial(vec![0, 0])
+    };
+    let plain = Driver::new(&program, &natives, base.clone()).run(Technique::HigherOrder);
+    let planned = Driver::new(
+        &program,
+        &natives,
+        DriverConfig {
+            fault_plan: Some(FaultPlan::new(1234)),
+            ..base
+        },
+    )
+    .run(Technique::HigherOrder);
+    assert_eq!(plain.runs, planned.runs);
+    assert_eq!(plain.errors, planned.errors);
+    assert_eq!(planned.faults_injected.total(), 0);
+    assert_eq!(planned.targets_faulted, 0);
+}
+
+/// Worker panics on every target: the campaign survives, counts every
+/// target as faulted, and still reports its (single) initial run.
+#[test]
+fn all_targets_panicking_does_not_abort_the_campaign() {
+    quiet_injected_panics();
+    let (program, natives) = corpus::obscure();
+    let mut plan = FaultPlan::new(7);
+    plan.worker_panic = 1.0;
+    for threads in [1, 4] {
+        let config = DriverConfig {
+            max_runs: 20,
+            threads,
+            fault_plan: Some(plan.clone()),
+            ..DriverConfig::with_initial(vec![33, 42])
+        };
+        let report = Driver::new(&program, &natives, config).run(Technique::HigherOrder);
+        assert_eq!(report.total_runs(), 1, "only the initial run survives");
+        assert!(report.targets_faulted >= 1);
+        assert_eq!(report.targets_faulted, report.faults_injected.worker_panics);
+        assert!(!report.found_error(1));
+    }
+}
+
+/// The degradation-ladder satellite: under a starvation-level node
+/// budget the UF validity query for `budget_cliff`'s guard concedes
+/// `Unknown`, but the same target is decidable under sound
+/// concretization. With the ladder the campaign still finds the error —
+/// through a `Degraded { level: Sound }` run that provably cannot
+/// diverge; without the ladder it generates no test at all.
+#[test]
+fn degradation_ladder_recovers_budget_cliff() {
+    let (program, natives) = corpus::budget_cliff();
+    let mut validity = ValidityConfig::default();
+    validity.smt.total_node_budget = 1;
+    let base = DriverConfig {
+        validity,
+        max_runs: 20,
+        threads: 1,
+        ..DriverConfig::with_initial(vec![0, 20])
+    };
+
+    let with = Driver::new(&program, &natives, base.clone()).run(Technique::HigherOrder);
+    assert!(with.found_error(1), "ladder should recover the error");
+    assert!(with.targets_degraded >= 1);
+    assert!(with.degradations.iter().any(|d| d.recovered));
+    let sound_degraded: Vec<_> = with
+        .runs
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.origin,
+                Origin::Degraded {
+                    level: DegradationLevel::Sound,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert!(
+        !sound_degraded.is_empty(),
+        "recovery came from the sound rung"
+    );
+    for r in &sound_degraded {
+        assert_ne!(r.diverged, Some(true), "sound concretization diverged");
+    }
+
+    let without = Driver::new(
+        &program,
+        &natives,
+        DriverConfig {
+            degradation_ladder: false,
+            ..base
+        },
+    )
+    .run(Technique::HigherOrder);
+    assert!(
+        !without.found_error(1),
+        "without the fallback the target is just rejected"
+    );
+    assert_eq!(without.targets_degraded, 0);
+    assert!(without.degradations.is_empty());
+    assert!(without.rejected_targets >= 1);
+}
+
+/// The budget-escalation retry: with a starvation budget (1 node — the
+/// `budget_cliff` flip query's fractional root vertex needs more) and a
+/// large escalation factor, the retried validity query gets enough
+/// nodes to decide, the error is found, and the escalation is counted.
+#[test]
+fn escalated_retry_recovers_starved_validity_query() {
+    let (program, natives) = corpus::budget_cliff();
+    let mut validity = ValidityConfig::default();
+    validity.smt.total_node_budget = 1;
+    let base = DriverConfig {
+        validity,
+        max_runs: 20,
+        threads: 1,
+        degradation_ladder: false,
+        ..DriverConfig::with_initial(vec![0, 20])
+    };
+
+    let starved = Driver::new(&program, &natives, base.clone()).run(Technique::HigherOrder);
+    let escalated = Driver::new(
+        &program,
+        &natives,
+        DriverConfig {
+            retry_escalation: 8.0,
+            ..base
+        },
+    )
+    .run(Technique::HigherOrder);
+    assert!(escalated.budget_escalations >= 1);
+    assert!(
+        escalated.found_error(1),
+        "escalated budget should decide the validity query"
+    );
+    assert!(!starved.found_error(1), "starved baseline stays stuck");
+    assert_eq!(starved.budget_escalations, 0);
+}
+
+/// A zero campaign deadline stops the directed search after the initial
+/// run and marks the report as timed out; the random baseline stops
+/// before its first run.
+#[test]
+fn zero_campaign_deadline_times_out_immediately() {
+    let (program, natives) = corpus::obscure();
+    let base = DriverConfig {
+        campaign_deadline: Some(Duration::ZERO),
+        ..DriverConfig::with_initial(vec![33, 42])
+    };
+    let directed = Driver::new(&program, &natives, base.clone()).run(Technique::HigherOrder);
+    assert!(directed.campaign_timed_out);
+    assert_eq!(directed.total_runs(), 1, "only the initial run");
+
+    let random = Driver::new(&program, &natives, base).run(Technique::Random);
+    assert!(random.campaign_timed_out);
+    assert_eq!(random.total_runs(), 0);
+}
+
+/// A zero per-target deadline makes every solver query concede
+/// `Unknown` — including the ladder's own attempts — so the campaign
+/// degrades (recording unrecovered rungs) and terminates instead of
+/// hanging.
+#[test]
+fn zero_target_deadline_degrades_and_terminates() {
+    let (program, natives) = corpus::obscure();
+    let config = DriverConfig {
+        target_deadline: Some(Duration::ZERO),
+        max_runs: 20,
+        threads: 1,
+        ..DriverConfig::with_initial(vec![33, 42])
+    };
+    let report = Driver::new(&program, &natives, config).run(Technique::HigherOrder);
+    assert!(report.total_runs() >= 1);
+    assert!(!report.found_error(1), "no query can decide in zero time");
+    assert!(report.targets_degraded >= 1);
+    assert!(report.degradations.iter().all(|d| !d.recovered));
+    assert!(!report.campaign_timed_out);
+}
+
+/// The fuel-exhaustion satellite: no default-corpus campaign burns out
+/// its statement fuel, and the counter says so.
+#[test]
+fn default_corpus_never_exhausts_fuel() {
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            let config = DriverConfig {
+                max_runs: 15,
+                ..DriverConfig::with_initial(vec![0; width])
+            };
+            let report = Driver::new(&program, &natives, config).run(technique);
+            assert_eq!(
+                report.fuel_exhausted_runs, 0,
+                "{name}/{technique}: fuel exhausted"
+            );
+            assert!(report.fault_kinds.get(&FaultKind::FuelExhausted).is_none());
+        }
+    }
+}

@@ -52,6 +52,42 @@ fn assert_reports_identical(seq: &Report, par: &Report, label: &str) {
         seq.generation_widths, par.generation_widths,
         "{label}: generation widths differ"
     );
+    assert_eq!(
+        seq.solver_errors, par.solver_errors,
+        "{label}: solver error counts differ"
+    );
+    assert_eq!(
+        seq.targets_degraded, par.targets_degraded,
+        "{label}: degraded target counts differ"
+    );
+    assert_eq!(
+        seq.targets_faulted, par.targets_faulted,
+        "{label}: faulted target counts differ"
+    );
+    assert_eq!(
+        seq.budget_escalations, par.budget_escalations,
+        "{label}: budget escalation counts differ"
+    );
+    assert_eq!(
+        seq.fuel_exhausted_runs, par.fuel_exhausted_runs,
+        "{label}: fuel-exhausted run counts differ"
+    );
+    assert_eq!(
+        seq.fault_kinds, par.fault_kinds,
+        "{label}: fault kind histograms differ"
+    );
+    assert_eq!(
+        seq.degradations, par.degradations,
+        "{label}: degradation records differ"
+    );
+    assert_eq!(
+        seq.faults_injected, par.faults_injected,
+        "{label}: injected fault counters differ"
+    );
+    assert_eq!(
+        seq.campaign_timed_out, par.campaign_timed_out,
+        "{label}: campaign timeout flags differ"
+    );
 }
 
 #[test]

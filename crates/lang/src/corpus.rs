@@ -435,6 +435,36 @@ pub fn theorem4_boundary() -> (Program, NativeRegistry) {
     )
 }
 
+/// A guard engineered to separate the symbolic modes by *solver cost*.
+///
+/// In uninterpreted-function mode the two `hash` applications are free
+/// terms, so the flip query's root relaxation `3x = 2h₁ + 2h₂ + 5` has
+/// a fractional vertex no matter which variable the simplex makes
+/// basic (no coefficient divides the constant: 5/3 or −5/2), and
+/// deciding it needs branch-and-bound splits — more than one solver
+/// node. Under sound concretization both applications are pinned to
+/// their observed values (`hash(20) = 70725`, `hash(21) = 78644`), so
+/// the query collapses to `3x = 298743` and an integral root vertex
+/// (`x = 99581`) that a single node decides. With
+/// `total_node_budget = 1`, higher-order test generation concedes
+/// `Unknown` on the flip target — the degradation ladder (Theorem 4's
+/// fallback) then recovers the error under sound concretization,
+/// whereas a driver without the fallback generates no test at all.
+pub fn budget_cliff() -> (Program, NativeRegistry) {
+    build(
+        r#"
+        native hash/1;
+        program budget_cliff(x: int, y: int) {
+            if (3 * x == 2 * hash(y) + 2 * hash(y + 1) + 5) {
+                error(1);
+            }
+            return;
+        }
+        "#,
+        hash_registry(),
+    )
+}
+
 /// A named corpus entry: program name and its constructor.
 pub type CorpusEntry = (&'static str, fn() -> (Program, NativeRegistry));
 
@@ -454,6 +484,7 @@ pub fn all() -> Vec<CorpusEntry> {
         ("composed", composed),
         ("nonlinear", nonlinear),
         ("lint_demo", lint_demo),
+        ("budget_cliff", budget_cliff),
     ]
 }
 

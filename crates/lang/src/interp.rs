@@ -226,6 +226,95 @@ impl From<Vec<i64>> for InputVector {
     }
 }
 
+/// The kind of a runtime fault, for per-kind breakdowns in campaign
+/// reports. The human-readable message lives in [`Fault::message`];
+/// `Display` for [`Fault`] prints only the message, so rendered fault
+/// text is identical to the pre-structured (stringly) representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Arithmetic overflow (including negation of `i64::MIN`).
+    Overflow,
+    /// Array index out of bounds.
+    OutOfBounds,
+    /// Fuel ran out inside an execution that must report it as a fault
+    /// (ordinary top-level fuel exhaustion is [`Outcome::OutOfFuel`]).
+    FuelExhausted,
+    /// A native ("unknown") function call failed (missing registration,
+    /// arity mismatch).
+    NativeError,
+    /// A fault injected by a chaos/fault-injection harness.
+    Injected,
+    /// Anything else (type confusion, unbound names, malformed bodies).
+    Other,
+}
+
+impl FaultKind {
+    /// Stable lowercase label (used as a report key).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DivByZero => "div-by-zero",
+            FaultKind::Overflow => "overflow",
+            FaultKind::OutOfBounds => "out-of-bounds",
+            FaultKind::FuelExhausted => "fuel-exhausted",
+            FaultKind::NativeError => "native-error",
+            FaultKind::Injected => "injected",
+            FaultKind::Other => "other",
+        }
+    }
+}
+
+/// A structured runtime fault: a machine-readable kind plus the exact
+/// human-readable message the stringly representation used to carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What class of fault this is.
+    pub kind: FaultKind,
+    /// Human-readable description (unchanged from the pre-enum format).
+    pub message: String,
+}
+
+impl Fault {
+    /// A fault of an explicit kind.
+    pub fn new(kind: FaultKind, message: impl Into<String>) -> Fault {
+        Fault {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// An [`FaultKind::Other`] fault.
+    pub fn other(message: impl Into<String>) -> Fault {
+        Fault::new(FaultKind::Other, message)
+    }
+
+    /// A [`FaultKind::NativeError`] fault.
+    pub fn native(message: impl Into<String>) -> Fault {
+        Fault::new(FaultKind::NativeError, message)
+    }
+}
+
+/// Prints the message only, so `format!("{fault}")` is byte-identical to
+/// the old `String`-typed representation.
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for Fault {
+    fn from(message: String) -> Fault {
+        Fault::other(message)
+    }
+}
+
+impl From<&str> for Fault {
+    fn from(message: &str) -> Fault {
+        Fault::other(message.to_string())
+    }
+}
+
 /// Why an execution stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -234,7 +323,7 @@ pub enum Outcome {
     /// An `error(code)` statement was reached — a bug was triggered.
     Error(i64),
     /// Division by zero, out-of-bounds access, or arithmetic overflow.
-    RuntimeFault(String),
+    RuntimeFault(Fault),
     /// The fuel budget was exhausted (the paper's timeout for
     /// non-terminating executions, Section 2 footnote 2).
     OutOfFuel,
@@ -382,8 +471,9 @@ pub fn eval_expr(
                         .and_then(|i| items.get(i).copied())
                         .map(CVal::Int)
                         .ok_or_else(|| {
-                            EvalError::Fault(format!(
-                                "index {i} out of bounds for `{name}` (len {len})"
+                            EvalError::Fault(Fault::new(
+                                FaultKind::OutOfBounds,
+                                format!("index {i} out of bounds for `{name}` (len {len})"),
                             ))
                         })
                 }
@@ -393,9 +483,12 @@ pub fn eval_expr(
         }
         Expr::Unary(UnOp::Neg, inner) => {
             let v = eval_expr(inner, env, natives, functions, trace, fuel)?.int()?;
-            v.checked_neg()
-                .map(CVal::Int)
-                .ok_or_else(|| "arithmetic overflow in negation".into())
+            v.checked_neg().map(CVal::Int).ok_or_else(|| {
+                EvalError::Fault(Fault::new(
+                    FaultKind::Overflow,
+                    "arithmetic overflow in negation",
+                ))
+            })
         }
         Expr::Unary(UnOp::Not, inner) => {
             let v = eval_expr(inner, env, natives, functions, trace, fuel)?.bool()?;
@@ -412,7 +505,7 @@ pub fn eval_expr(
                 vals.push(eval_expr(a, env, natives, functions, trace, fuel)?.int()?);
             }
             if natives.contains(name) {
-                let out = natives.call(name, &vals)?;
+                let out = natives.call(name, &vals).map_err(Fault::native)?;
                 trace.native_calls.push((name.clone(), vals, out));
                 Ok(CVal::Int(out))
             } else if let Some(def) = functions.iter().find(|f| f.name == *name) {
@@ -459,10 +552,12 @@ pub fn call_function(
     match exec_block(&def.body, &mut env, natives, functions, trace, fuel) {
         Err(m) => Err(EvalError::Fault(m)),
         Ok(Flow::ReturnVal(v)) => Ok(v),
-        Ok(Flow::Continue) | Ok(Flow::Stop(Outcome::Returned)) => Err(EvalError::Fault(format!(
-            "fn `{}` terminated without returning a value",
-            def.name
-        ))),
+        Ok(Flow::Continue) | Ok(Flow::Stop(Outcome::Returned)) => {
+            Err(EvalError::Fault(Fault::other(format!(
+                "fn `{}` terminated without returning a value",
+                def.name
+            ))))
+        }
         Ok(Flow::Stop(o)) => Err(EvalError::Stop(o)),
     }
 }
@@ -471,8 +566,8 @@ pub fn call_function(
 ///
 /// # Errors
 ///
-/// Returns an error string on type confusion, overflow, or zero divisor.
-pub fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Result<CVal, String> {
+/// Returns a [`Fault`] on type confusion, overflow, or zero divisor.
+pub fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Result<CVal, Fault> {
     if op.is_logical() {
         let (x, y) = (a.bool()?, b.bool()?);
         return Ok(CVal::Bool(match op {
@@ -499,41 +594,51 @@ pub fn eval_binop(op: BinOp, a: CVal, b: CVal) -> Result<CVal, String> {
         BinOp::Mul => x.checked_mul(y),
         BinOp::Div => {
             if y == 0 {
-                return Err("division by zero".into());
+                return Err(Fault::new(FaultKind::DivByZero, "division by zero"));
             }
             x.checked_div(y)
         }
         BinOp::Mod => {
             if y == 0 {
-                return Err("remainder by zero".into());
+                return Err(Fault::new(FaultKind::DivByZero, "remainder by zero"));
             }
             x.checked_rem(y)
         }
         _ => unreachable!(),
     };
-    out.map(CVal::Int)
-        .ok_or_else(|| format!("arithmetic overflow in `{}`", op.symbol()))
+    out.map(CVal::Int).ok_or_else(|| {
+        Fault::new(
+            FaultKind::Overflow,
+            format!("arithmetic overflow in `{}`", op.symbol()),
+        )
+    })
 }
 
 /// Why expression evaluation aborted.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EvalError {
     /// A runtime fault (division by zero, out-of-bounds, overflow, …).
-    Fault(String),
+    Fault(Fault),
     /// A full program stop raised inside a called function
     /// (`error(code)` or fuel exhaustion).
     Stop(Outcome),
 }
 
+impl From<Fault> for EvalError {
+    fn from(f: Fault) -> EvalError {
+        EvalError::Fault(f)
+    }
+}
+
 impl From<String> for EvalError {
     fn from(m: String) -> EvalError {
-        EvalError::Fault(m)
+        EvalError::Fault(Fault::other(m))
     }
 }
 
 impl From<&str> for EvalError {
     fn from(m: &str) -> EvalError {
-        EvalError::Fault(m.to_string())
+        EvalError::Fault(Fault::other(m.to_string()))
     }
 }
 
@@ -603,7 +708,7 @@ fn exec_block(
     functions: &[FuncDef],
     trace: &mut Trace,
     fuel: &mut u64,
-) -> Result<Flow, String> {
+) -> Result<Flow, Fault> {
     for s in body {
         if *fuel == 0 {
             return Ok(Flow::Stop(Outcome::OutOfFuel));
@@ -613,7 +718,7 @@ fn exec_block(
         match s {
             Stmt::Let(name, e) => {
                 let v = eval_or_flow!(eval_expr(e, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.int().map_err(EvalError::Fault)));
+                    .and_then(|v| v.int().map_err(EvalError::from)));
                 env.declare(name.clone(), Slot::Scalar(v));
             }
             Stmt::LetArray(name, len) => {
@@ -621,20 +726,20 @@ fn exec_block(
             }
             Stmt::Assign(name, e) => {
                 let v = eval_or_flow!(eval_expr(e, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.int().map_err(EvalError::Fault)));
+                    .and_then(|v| v.int().map_err(EvalError::from)));
                 match env.get_mut(name) {
                     Some(Slot::Scalar(slot)) => *slot = v,
                     Some(Slot::Array(_)) => {
-                        return Err(format!("cannot assign whole array `{name}`"))
+                        return Err(format!("cannot assign whole array `{name}`").into())
                     }
-                    None => return Err(format!("assignment to unbound `{name}`")),
+                    None => return Err(format!("assignment to unbound `{name}`").into()),
                 }
             }
             Stmt::AssignIndex(name, idx, val) => {
                 let i = eval_or_flow!(eval_expr(idx, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.int().map_err(EvalError::Fault)));
+                    .and_then(|v| v.int().map_err(EvalError::from)));
                 let v = eval_or_flow!(eval_expr(val, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.int().map_err(EvalError::Fault)));
+                    .and_then(|v| v.int().map_err(EvalError::from)));
                 match env.get_mut(name) {
                     Some(Slot::Array(items)) => {
                         let len = items.len();
@@ -642,12 +747,17 @@ fn exec_block(
                             .ok()
                             .and_then(|i| items.get_mut(i))
                             .ok_or_else(|| {
-                                format!("index {i} out of bounds for `{name}` (len {len})")
+                                Fault::new(
+                                    FaultKind::OutOfBounds,
+                                    format!("index {i} out of bounds for `{name}` (len {len})"),
+                                )
                             })?;
                         *slot = v;
                     }
-                    Some(Slot::Scalar(_)) => return Err(format!("cannot index scalar `{name}`")),
-                    None => return Err(format!("assignment to unbound `{name}`")),
+                    Some(Slot::Scalar(_)) => {
+                        return Err(format!("cannot index scalar `{name}`").into())
+                    }
+                    None => return Err(format!("assignment to unbound `{name}`").into()),
                 }
             }
             Stmt::If {
@@ -657,7 +767,7 @@ fn exec_block(
                 else_branch,
             } => {
                 let taken = eval_or_flow!(eval_expr(cond, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.bool().map_err(EvalError::Fault)));
+                    .and_then(|v| v.bool().map_err(EvalError::from)));
                 trace.branches.push((*id, taken));
                 env.push_scope();
                 let flow = if taken {
@@ -676,7 +786,7 @@ fn exec_block(
                 }
                 *fuel -= 1;
                 let taken = eval_or_flow!(eval_expr(cond, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.bool().map_err(EvalError::Fault)));
+                    .and_then(|v| v.bool().map_err(EvalError::from)));
                 trace.branches.push((*id, taken));
                 if !taken {
                     break;
@@ -692,7 +802,7 @@ fn exec_block(
             Stmt::Return => return Ok(Flow::Stop(Outcome::Returned)),
             Stmt::ReturnValue(e) => {
                 let v = eval_or_flow!(eval_expr(e, env, natives, functions, trace, fuel)
-                    .and_then(|v| v.int().map_err(EvalError::Fault)));
+                    .and_then(|v| v.int().map_err(EvalError::from)));
                 return Ok(Flow::ReturnVal(v));
             }
         }
@@ -790,7 +900,10 @@ mod tests {
         let p = parse("program t(buf: array[2], i: int) { let a = buf[i]; return; }").unwrap();
         let n = NativeRegistry::new();
         let (o, _) = run(&p, &n, &InputVector::new(vec![1, 2, 5]), 100);
-        assert!(matches!(o, Outcome::RuntimeFault(m) if m.contains("out of bounds")));
+        assert!(
+            matches!(&o, Outcome::RuntimeFault(m) if m.kind == FaultKind::OutOfBounds
+                && m.message.contains("out of bounds"))
+        );
         let (o2, _) = run(&p, &n, &InputVector::new(vec![1, 2, -1]), 100);
         assert!(matches!(o2, Outcome::RuntimeFault(_)));
     }
@@ -800,7 +913,10 @@ mod tests {
         let p = parse("program t(x: int) { let a = 10 / x; return; }").unwrap();
         let n = NativeRegistry::new();
         let (o, _) = run(&p, &n, &InputVector::new(vec![0]), 100);
-        assert!(matches!(o, Outcome::RuntimeFault(m) if m.contains("division by zero")));
+        assert!(
+            matches!(&o, Outcome::RuntimeFault(m) if m.kind == FaultKind::DivByZero
+                && m.message.contains("division by zero"))
+        );
         let (o2, _) = run(&p, &n, &InputVector::new(vec![2]), 100);
         assert_eq!(o2, Outcome::Returned);
     }
@@ -810,7 +926,10 @@ mod tests {
         let p = parse("program t(x: int) { let a = x * x; return; }").unwrap();
         let n = NativeRegistry::new();
         let (o, _) = run(&p, &n, &InputVector::new(vec![i64::MAX]), 100);
-        assert!(matches!(o, Outcome::RuntimeFault(m) if m.contains("overflow")));
+        assert!(
+            matches!(&o, Outcome::RuntimeFault(m) if m.kind == FaultKind::Overflow
+                && m.message.contains("overflow"))
+        );
     }
 
     #[test]
@@ -955,7 +1074,7 @@ mod tests {
         };
         let n = NativeRegistry::new();
         let (o, _) = run(&p, &n, &InputVector::new(vec![1]), 100);
-        assert!(matches!(o, Outcome::RuntimeFault(m) if m.contains("without returning")),);
+        assert!(matches!(o, Outcome::RuntimeFault(m) if m.message.contains("without returning")),);
     }
 
     #[test]

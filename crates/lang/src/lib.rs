@@ -45,7 +45,7 @@ pub use ast::{stmt_ids, BinOp, BranchId, Expr, FuncDef, NativeDecl, Param, Progr
 pub use check::{check, CheckError};
 pub use diag::{DiagCode, Diagnostic, Severity, Span, SpanTable, StmtId};
 pub use interp::{
-    call_function, eval_binop, eval_expr, run, CVal, Env, EvalError, InputVector, NativeRegistry,
-    Outcome, Slot, Trace,
+    call_function, eval_binop, eval_expr, run, CVal, Env, EvalError, Fault, FaultKind, InputVector,
+    NativeRegistry, Outcome, Slot, Trace,
 };
 pub use parser::{parse, ParseError};

@@ -1,0 +1,87 @@
+//! Cooperative wall-clock cutoff for solver loops.
+//!
+//! A [`Deadline`] is a `Copy` token threaded through [`crate::lia::LiaConfig`]
+//! and [`crate::smt::SmtConfig`]. The branch-and-bound loop and the DPLL(T)
+//! refinement loop poll it between nodes/rounds and concede `Unknown` once it
+//! expires — no threads are killed, no state is poisoned, the caller simply
+//! gets a weaker (but sound) verdict. A deadline-induced `Unknown` must never
+//! be memoized in a shared query cache: it is a property of the schedule, not
+//! of the query.
+
+use std::time::{Duration, Instant};
+
+/// An optional wall-clock cutoff. `Deadline::NONE` never expires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// The absent deadline: never expires.
+    pub const NONE: Deadline = Deadline(None);
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline(Some(instant))
+    }
+
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Deadline {
+        Deadline(Some(Instant::now() + d))
+    }
+
+    /// `true` once the cutoff has passed. Always `false` for `NONE`.
+    pub fn expired(&self) -> bool {
+        match self.0 {
+            None => false,
+            Some(t) => Instant::now() >= t,
+        }
+    }
+
+    /// `true` if a cutoff is set at all.
+    pub fn is_set(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The earlier of two deadlines (`NONE` is treated as +∞).
+    pub fn earliest(self, other: Deadline) -> Deadline {
+        match (self.0, other.0) {
+            (None, b) => Deadline(b),
+            (a, None) => Deadline(a),
+            (Some(a), Some(b)) => Deadline(Some(a.min(b))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        assert!(!Deadline::NONE.expired());
+        assert!(!Deadline::NONE.is_set());
+    }
+
+    #[test]
+    fn past_deadline_is_expired() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.expired());
+        assert!(d.is_set());
+    }
+
+    #[test]
+    fn future_deadline_not_yet_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn earliest_prefers_the_sooner_cutoff() {
+        let soon = Deadline::after(Duration::from_millis(1));
+        let late = Deadline::after(Duration::from_secs(3600));
+        assert_eq!(soon.earliest(late), soon);
+        assert_eq!(late.earliest(soon), soon);
+        assert_eq!(Deadline::NONE.earliest(soon), soon);
+        assert_eq!(soon.earliest(Deadline::NONE), soon);
+        assert_eq!(Deadline::NONE.earliest(Deadline::NONE), Deadline::NONE);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod atoms;
 pub mod cache;
+pub mod deadline;
 pub mod euf;
 pub mod lia;
 pub mod simplex;
@@ -37,6 +38,7 @@ pub mod smt;
 pub mod validity;
 
 pub use cache::{CacheStats, Keyed, QueryCache};
+pub use deadline::Deadline;
 pub use smt::{SmtConfig, SmtResult, SmtSolver};
 pub use validity::{
     CounterInterp, Interpretation, Samples, Strategy, StrategyBinding, ValidityChecker,

@@ -11,6 +11,7 @@
 
 use crate::atoms::{eq_split, negate_le, normalize, NormAtom, Prim};
 use crate::cache::{CacheStats, Keyed, QueryCache};
+use crate::deadline::Deadline;
 use crate::lia::{solve_int, solve_int_budgeted, ConKind, IntConstraint, LiaConfig, LiaResult};
 use hotg_logic::{Atom, Formula, LinKey, Model, NonLinearError, Term, Value};
 use hotg_sat::{Lit, SatResult, SatSolver};
@@ -53,6 +54,12 @@ pub struct SmtConfig {
     /// construction time — `check` sits on the campaign hot path and must
     /// not pay an env lookup per query.
     pub trace: bool,
+    /// Cooperative wall-clock cutoff, polled between refinement rounds and
+    /// (via [`LiaConfig::deadline`]) between branch-and-bound nodes. An
+    /// expired deadline makes `check` concede [`SmtResult::Unknown`]; such
+    /// verdicts are **never** memoized in the shared query cache, because
+    /// they depend on the schedule rather than the query.
+    pub deadline: Deadline,
 }
 
 impl SmtConfig {
@@ -63,6 +70,7 @@ impl SmtConfig {
             max_rounds: 100_000,
             total_node_budget: 120_000,
             trace: std::env::var_os("HOTG_SMT_TRACE").is_some(),
+            deadline: Deadline::NONE,
         }
     }
 }
@@ -227,6 +235,27 @@ impl SmtSolver {
         &self.config
     }
 
+    /// A solver with a different configuration that **shares** this
+    /// solver's query cache. Used to thread per-target deadlines into
+    /// worker-local clones without losing memoized verdicts.
+    pub fn reconfigured(&self, config: SmtConfig) -> SmtSolver {
+        SmtSolver {
+            config,
+            cache: Arc::clone(&self.cache),
+        }
+    }
+
+    /// A solver with a **private** (empty) query cache. Escalated-budget
+    /// retries must use a detached solver: their verdicts are a function of
+    /// the inflated budget, and writing them into the shared cache would
+    /// make campaign results depend on which targets happened to escalate.
+    pub fn detached(&self, config: SmtConfig) -> SmtSolver {
+        SmtSolver {
+            config,
+            cache: Arc::new(QueryCache::new()),
+        }
+    }
+
     /// Hit/miss counters of the query cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -280,7 +309,14 @@ impl SmtSolver {
 
         let result = self.check_inner(&full);
         if let Ok(r) = &result {
-            self.cache.insert(key, r.clone());
+            // A deadline-expired `Unknown` reflects the wall clock, not the
+            // query; memoizing it would let one slow schedule poison every
+            // later (possibly deadline-free) check of the same formula.
+            let deadline_unknown =
+                matches!(r, SmtResult::Unknown) && self.config.deadline.expired();
+            if !deadline_unknown {
+                self.cache.insert(key, r.clone());
+            }
         }
         if self.config.trace && start.elapsed().as_millis() > 200 {
             eprintln!(
@@ -308,6 +344,9 @@ impl SmtSolver {
         let mut pool = self.config.total_node_budget;
 
         for _round in 0..self.config.max_rounds {
+            if self.config.deadline.expired() {
+                return Ok(SmtResult::Unknown);
+            }
             match enc.sat.solve() {
                 SatResult::Unsat => return Ok(SmtResult::Unsat),
                 SatResult::Sat(bmodel) => {
@@ -340,6 +379,7 @@ impl SmtSolver {
                     }
                     let lia = LiaConfig {
                         node_budget: self.config.lia.node_budget.min(pool),
+                        deadline: self.config.deadline.earliest(self.config.lia.deadline),
                         ..self.config.lia
                     };
                     let before = pool;
@@ -399,6 +439,7 @@ impl SmtSolver {
         let lia = crate::lia::LiaConfig {
             prefer_small: false,
             node_budget: self.config.lia.node_budget.min(400),
+            deadline: self.config.deadline.earliest(self.config.lia.deadline),
             ..self.config.lia
         };
         let mut i = 0;
@@ -652,6 +693,40 @@ mod tests {
             }
             other => panic!("expected SAT, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_concedes_unknown_without_caching() {
+        let (_, x, _, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::int(42)));
+        let expired = SmtConfig {
+            deadline: Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..SmtConfig::new()
+        };
+        let solver = SmtSolver::with_config(expired);
+        assert_eq!(solver.check(&f).expect("linear"), SmtResult::Unknown);
+        // A reconfigured clone shares the cache; the deadline-induced
+        // Unknown must not have been memoized, so the fresh check decides.
+        let fresh = solver.reconfigured(SmtConfig {
+            deadline: Deadline::NONE,
+            ..*solver.config()
+        });
+        assert!(fresh.check(&f).expect("linear").is_sat());
+    }
+
+    #[test]
+    fn detached_solver_has_private_cache() {
+        let (_, x, _, _) = setup();
+        let f = Formula::atom(Atom::eq(Term::var(x), Term::int(7)));
+        let shared = SmtSolver::new();
+        assert!(shared.check(&f).expect("linear").is_sat());
+        let detached = shared.detached(*shared.config());
+        assert_eq!(detached.cache_stats().hits, 0);
+        assert!(detached.check(&f).expect("linear").is_sat());
+        // The detached check was a miss in its own cache, not a hit in the
+        // shared one.
+        assert_eq!(detached.cache_stats().hits, 0);
+        assert!(detached.cache_stats().misses >= 1);
     }
 
     #[test]

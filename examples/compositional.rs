@@ -36,6 +36,9 @@ fn main() {
             Origin::Solved { target } => format!("solved {target}"),
             Origin::Strategy { target, strategy } => format!("strategy {target}: {strategy}"),
             Origin::Probe { target } => format!("probe for {target}"),
+            Origin::Degraded { target, level } => {
+                format!("degraded {target} ({})", level.label())
+            }
         };
         println!(
             "run {i}: (x={}, y={}) -> {:?}   [{kind}]",

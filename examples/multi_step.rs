@@ -29,6 +29,9 @@ fn main() {
                 format!("strategy for {target}: {strategy}")
             }
             Origin::Probe { target } => format!("probe for {target}"),
+            Origin::Degraded { target, level } => {
+                format!("degraded {target} ({})", level.label())
+            }
         };
         println!(
             "run {i}: (x={}, y={}) -> {:?}   [{kind}]",
