@@ -22,7 +22,7 @@ fn bench_campaigns(c: &mut Criterion) {
     let (program, natives) = corpus::composed();
     for technique in [Technique::HigherOrder, Technique::HigherOrderCompositional] {
         c.bench_function(
-            &format!("compositional/campaign_{}", technique.label()),
+            &format!("compositional/campaign_{}", technique.name()),
             |b| {
                 b.iter(|| {
                     let config = DriverConfig {

@@ -7,7 +7,7 @@ use hotg_lexapp::{campaign, LexerVariant};
 
 fn bench_campaigns(c: &mut Criterion) {
     for technique in Technique::ALL {
-        c.bench_function(&format!("lexer_campaign/{}", technique.label()), |b| {
+        c.bench_function(&format!("lexer_campaign/{}", technique.name()), |b| {
             b.iter(|| black_box(campaign(LexerVariant::Fixed, technique, 12)))
         });
     }

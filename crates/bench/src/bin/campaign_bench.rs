@@ -4,23 +4,33 @@
 //! repo root by default).
 //!
 //! ```text
-//! campaign-bench [--reduced] [--chaos] [--out PATH] [--threads N]
+//! campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] [--threads N]
 //! ```
 //!
 //! * `--reduced` shrinks the corpus and run budget for CI smoke runs.
 //! * `--chaos` additionally runs every selected program under a
 //!   fault-injection plan and records the fault accounting.
+//! * `--technique NAME` restricts the matrix to one technique.
 //! * `--out PATH` overrides the output path.
 //! * `--threads N` overrides the worker-pool size of the parallel
 //!   measurement (default: 4).
 //!
+//! Every campaign is consumed through its [`CampaignEvent`] stream: the
+//! benchmark folds the stream back into a report and cross-checks the
+//! fold against the driver's own [`Report`], exiting non-zero on any
+//! drift — so the CI smoke run doubles as an end-to-end check that the
+//! event stream carries the campaign's complete accounting.
+//!
 //! The JSON schema is documented in `EXPERIMENTS.md` (section
 //! "Campaign benchmark").
+//!
+//! [`CampaignEvent`]: hotg_core::CampaignEvent
 
 use hotg_bench::paper_examples;
-use hotg_core::{Driver, DriverConfig, FaultPlan, Report, Technique};
+use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
 use hotg_lang::corpus;
 use std::fmt::Write as _;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 /// Programs exercised in `--reduced` mode: the paper's headline examples
@@ -30,6 +40,7 @@ const REDUCED_PROGRAMS: [&str; 4] = ["obscure", "foo", "bar", "euf_eq"];
 struct Args {
     reduced: bool,
     chaos: bool,
+    technique: Option<Technique>,
     out: String,
     threads: usize,
 }
@@ -38,6 +49,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         reduced: false,
         chaos: false,
+        technique: None,
         out: "BENCH_campaign.json".to_string(),
         threads: 4,
     };
@@ -46,6 +58,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--reduced" => args.reduced = true,
             "--chaos" => args.chaos = true,
+            "--technique" => {
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage("--technique needs a name"));
+                args.technique = Some(Technique::from_str(&name).unwrap_or_else(|e| usage(&e)));
+            }
             "--out" => {
                 args.out = it.next().unwrap_or_else(|| usage("--out needs a path"));
             }
@@ -63,7 +81,9 @@ fn parse_args() -> Args {
 
 fn usage(msg: &str) -> ! {
     eprintln!("campaign-bench: {msg}");
-    eprintln!("usage: campaign-bench [--reduced] [--chaos] [--out PATH] [--threads N]");
+    eprintln!(
+        "usage: campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] [--threads N]"
+    );
     std::process::exit(2);
 }
 
@@ -73,6 +93,117 @@ fn config(width: usize, max_runs: usize, threads: usize) -> DriverConfig {
         threads,
         ..DriverConfig::with_initial(vec![0; width])
     }
+}
+
+/// Runs one campaign while capturing its event stream, folds the stream
+/// back into a report, and diffs the fold against the driver's report.
+/// Returns the report, the event count, and any fold mismatches.
+fn run_via_events(driver: &Driver<'_>, technique: Technique) -> (Report, usize, Vec<String>) {
+    let mut log = EventLog::new();
+    let report = driver.run_with_sink(technique, &mut log);
+    let folded = fold_report(log.events());
+    let mismatches = fold_mismatches(&report, &folded);
+    (report, log.events().len(), mismatches)
+}
+
+/// Field-by-field diff between a driver report and the event-stream
+/// fold. Everything except wall clock must agree.
+fn fold_mismatches(report: &Report, folded: &Report) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut diff = |field: &str, got: String, want: String| {
+        if got != want {
+            out.push(format!("{field}: report {want} vs event fold {got}"));
+        }
+    };
+    diff(
+        "technique",
+        folded.technique.to_string(),
+        report.technique.to_string(),
+    );
+    diff("program", folded.program.clone(), report.program.clone());
+    diff(
+        "runs",
+        format!("{:?}", folded.runs),
+        format!("{:?}", report.runs),
+    );
+    diff(
+        "errors",
+        format!("{:?}", folded.errors),
+        format!("{:?}", report.errors),
+    );
+    diff(
+        "coverage",
+        format!("{:?}", folded.coverage),
+        format!("{:?}", report.coverage),
+    );
+    diff(
+        "counters",
+        format!(
+            "{:?}",
+            (
+                folded.divergences,
+                folded.probes,
+                folded.solver_calls,
+                folded.rejected_targets,
+                folded.solver_errors,
+                folded.budget_escalations,
+                folded.targets_degraded,
+                folded.targets_faulted,
+                folded.targets_pruned_static,
+                folded.presampled_sites,
+                folded.branch_sites,
+                folded.fuel_exhausted_runs,
+            )
+        ),
+        format!(
+            "{:?}",
+            (
+                report.divergences,
+                report.probes,
+                report.solver_calls,
+                report.rejected_targets,
+                report.solver_errors,
+                report.budget_escalations,
+                report.targets_degraded,
+                report.targets_faulted,
+                report.targets_pruned_static,
+                report.presampled_sites,
+                report.branch_sites,
+                report.fuel_exhausted_runs,
+            )
+        ),
+    );
+    diff(
+        "generation_widths",
+        format!("{:?}", folded.generation_widths),
+        format!("{:?}", report.generation_widths),
+    );
+    diff(
+        "cache",
+        format!("{}/{}", folded.cache_hits, folded.cache_misses),
+        format!("{}/{}", report.cache_hits, report.cache_misses),
+    );
+    diff(
+        "fault_kinds",
+        format!("{:?}", folded.fault_kinds),
+        format!("{:?}", report.fault_kinds),
+    );
+    diff(
+        "degradations",
+        format!("{:?}", folded.degradations),
+        format!("{:?}", report.degradations),
+    );
+    diff(
+        "faults_injected",
+        format!("{:?}", folded.faults_injected),
+        format!("{:?}", report.faults_injected),
+    );
+    diff(
+        "campaign_timed_out",
+        folded.campaign_timed_out.to_string(),
+        report.campaign_timed_out.to_string(),
+    );
+    out
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -96,7 +227,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn row_json(program: &str, r: &Report, wall_ms: f64) -> String {
+fn row_json(program: &str, r: &Report, wall_ms: f64, events: usize) -> String {
     let errors: Vec<String> = r.errors.keys().map(|c| c.to_string()).collect();
     let first_error = r
         .errors
@@ -108,10 +239,10 @@ fn row_json(program: &str, r: &Report, wall_ms: f64) -> String {
          \"runs\": {}, \"probes\": {}, \"solver_calls\": {}, \
          \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
          \"covered_directions\": {}, \"branch_directions\": {}, \
-         \"max_generation_width\": {}, \
+         \"max_generation_width\": {}, \"events\": {}, \
          \"first_error_run\": {}, \"errors\": [{}]}}",
         json_str(program),
-        json_str(r.technique.label()),
+        json_str(r.technique.name()),
         wall_ms,
         r.total_runs(),
         r.probes,
@@ -122,6 +253,7 @@ fn row_json(program: &str, r: &Report, wall_ms: f64) -> String {
         r.covered_directions(),
         2 * r.branch_sites,
         r.max_generation_width(),
+        events,
         first_error,
         errors.join(", "),
     )
@@ -136,7 +268,7 @@ fn chaos_row_json(program: &str, seed: u64, r: &Report, wall_ms: f64) -> String 
          \"solver_errors\": {}, \"targets_degraded\": {}, \"targets_faulted\": {}, \
          \"divergences\": {}}}",
         json_str(program),
-        json_str(r.technique.label()),
+        json_str(r.technique.name()),
         seed,
         wall_ms,
         r.total_runs(),
@@ -180,24 +312,37 @@ fn main() {
         .filter(|(name, _)| !args.reduced || REDUCED_PROGRAMS.contains(name))
         .collect();
 
-    // Matrix: every program × every technique, single-threaded so the
-    // per-row wall times are comparable across techniques.
+    let techniques: Vec<Technique> = Technique::ALL
+        .into_iter()
+        .filter(|t| args.technique.is_none_or(|want| want == *t))
+        .collect();
+
+    // Matrix: every program × every selected technique, single-threaded
+    // so the per-row wall times are comparable across techniques. Each
+    // campaign runs through its event stream; any fold drift against
+    // the driver's report is collected and fails the process.
     let mut rows = Vec::new();
+    let mut fold_drift = Vec::new();
     for (name, ctor) in &programs {
         let (program, natives) = ctor();
         let width = program.input_width();
-        for technique in Technique::ALL {
+        for technique in techniques.iter().copied() {
             let driver = Driver::new(&program, &natives, config(width, max_runs, 1));
             let start = Instant::now();
-            let report = driver.run(technique);
+            let (report, events, mismatches) = run_via_events(&driver, technique);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             eprintln!(
                 "{name:<14} {:<18} {:>7.1}ms  {}",
-                technique.label(),
+                technique.name(),
                 wall_ms,
                 report
             );
-            rows.push(row_json(name, &report, wall_ms));
+            fold_drift.extend(
+                mismatches
+                    .into_iter()
+                    .map(|m| format!("{name}/{}: {m}", technique.name())),
+            );
+            rows.push(row_json(name, &report, wall_ms, events));
         }
     }
 
@@ -218,7 +363,7 @@ fn main() {
                 };
                 let driver = Driver::new(&program, &natives, cfg);
                 let start = Instant::now();
-                let report = driver.run(Technique::HigherOrder);
+                let (report, _, mismatches) = run_via_events(&driver, Technique::HigherOrder);
                 let wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 eprintln!(
                     "chaos {name:<14} seed {seed} {:>7.1}ms  {} injected, \
@@ -227,6 +372,11 @@ fn main() {
                     report.faults_injected.total(),
                     report.targets_faulted,
                     report.targets_degraded,
+                );
+                fold_drift.extend(
+                    mismatches
+                        .into_iter()
+                        .map(|m| format!("chaos {name}/seed{seed}: {m}")),
                 );
                 chaos_rows.push(chaos_row_json(name, seed, &report, wall_ms));
             }
@@ -243,7 +393,7 @@ fn main() {
                  \"claim\": {}, \"measured\": {}, \"pass\": {}}}",
                 json_str(c.id),
                 json_str(c.program),
-                json_str(c.technique.label()),
+                json_str(c.technique.name()),
                 json_str(c.claim),
                 json_str(&c.measured),
                 c.pass
@@ -259,6 +409,7 @@ fn main() {
     // cannot beat the sequential leg no matter how wide the generations
     // are, so `speedup` is only meaningful when `host_threads > 1`.
     let threads = args.threads.max(2);
+    let par_technique = args.technique.unwrap_or(Technique::HigherOrder);
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut sequential_ms = 0.0;
     let mut parallel_ms = 0.0;
@@ -269,7 +420,7 @@ fn main() {
         for (th, acc) in [(1, &mut sequential_ms), (threads, &mut parallel_ms)] {
             let driver = Driver::new(&program, &natives, config(width, max_runs, th));
             let start = Instant::now();
-            let report = driver.run(Technique::HigherOrder);
+            let report = driver.run(par_technique);
             *acc += start.elapsed().as_secs_f64() * 1e3;
             widest = widest.max(report.max_generation_width());
             let _ = name;
@@ -281,25 +432,29 @@ fn main() {
         0.0
     };
     eprintln!(
-        "parallel higher-order: {sequential_ms:.1}ms @1 thread, \
+        "parallel {}: {sequential_ms:.1}ms @1 thread, \
          {parallel_ms:.1}ms @{threads} threads, speedup {speedup:.2}x \
-         (host has {host_threads} core(s), widest generation {widest})"
+         (host has {host_threads} core(s), widest generation {widest})",
+        par_technique.name()
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/2\",\n  \"reduced\": {},\n  \
-         \"max_runs\": {},\n  \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/3\",\n  \"reduced\": {},\n  \
+         \"max_runs\": {},\n  \"fold_drift\": {},\n  \
+         \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
-         \"parallel\": {{\"technique\": \"higher-order\", \
+         \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
          \"speedup\": {:.3}}}\n}}\n",
         args.reduced,
         max_runs,
+        fold_drift.len(),
         rows.join(",\n    "),
         claims.join(",\n    "),
         failed_claims,
         chaos_rows.join(",\n    "),
+        json_str(par_technique.name()),
         threads,
         host_threads,
         widest,
@@ -315,8 +470,22 @@ fn main() {
         claims.len()
     );
 
+    let mut failed = false;
     if failed_claims > 0 {
         eprintln!("campaign-bench: {failed_claims} paper-claim row(s) FAILED");
+        failed = true;
+    }
+    if !fold_drift.is_empty() {
+        eprintln!(
+            "campaign-bench: event-stream fold drifted from the driver report in {} place(s):",
+            fold_drift.len()
+        );
+        for m in &fold_drift {
+            eprintln!("  {m}");
+        }
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -22,7 +22,7 @@ fn main() {
         curves.push((technique, report.coverage_curve()));
     }
 
-    println!("run,{}", Technique::ALL.map(|t| t.label()).join(","));
+    println!("run,{}", Technique::ALL.map(|t| t.name()).join(","));
     for i in 0..max_runs {
         let row: Vec<String> = curves
             .iter()

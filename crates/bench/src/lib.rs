@@ -278,7 +278,7 @@ pub fn render_rows(rows: &[ExperimentRow]) -> String {
             "{:<11} {:<12} {:<13} {:<6} {:<44} {}\n",
             r.id,
             r.program,
-            r.technique.label(),
+            r.technique.name(),
             if r.pass { "PASS" } else { "FAIL" },
             r.claim,
             r.measured

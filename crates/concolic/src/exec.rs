@@ -66,6 +66,41 @@ impl SymbolicMode {
     }
 }
 
+/// The executor-facing hooks of one search strategy: how symbolic
+/// evaluation handles expressions outside the theory, and whether
+/// defined-function calls are abstracted behind summaries (§8).
+///
+/// Strategies in `hotg-core` hand the executor one of these instead of
+/// loose technique flags, so adding a strategy-specific evaluation
+/// behaviour extends this struct rather than every `execute_*`
+/// signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExecProfile {
+    /// Symbolic-evaluation mode producing the path constraints.
+    pub mode: SymbolicMode,
+    /// §8 compositional mode: defined-function calls become sampled
+    /// uninterpreted applications instead of being inlined symbolically.
+    pub summarize_calls: bool,
+}
+
+impl ExecProfile {
+    /// A profile evaluating in `mode` with calls inlined.
+    pub fn new(mode: SymbolicMode) -> ExecProfile {
+        ExecProfile {
+            mode,
+            summarize_calls: false,
+        }
+    }
+
+    /// A profile evaluating in `mode` with summarized calls (§8).
+    pub fn summarized(mode: SymbolicMode) -> ExecProfile {
+        ExecProfile {
+            mode,
+            summarize_calls: true,
+        }
+    }
+}
+
 /// Result of one concolic execution.
 #[derive(Clone, Debug)]
 pub struct ConcolicRun {
@@ -259,6 +294,29 @@ pub fn execute(
     fuel: u64,
 ) -> ConcolicRun {
     execute_opts(ctx, program, natives, inputs, mode, fuel, false)
+}
+
+/// Runs one concolic execution under a strategy's [`ExecProfile`] — the
+/// entry point used by the `hotg-core` campaign engine, where the
+/// profile comes from the active search strategy rather than loose
+/// technique flags.
+pub fn execute_profiled(
+    ctx: &ConcolicContext,
+    program: &Program,
+    natives: &NativeRegistry,
+    inputs: &InputVector,
+    fuel: u64,
+    profile: ExecProfile,
+) -> ConcolicRun {
+    execute_opts(
+        ctx,
+        program,
+        natives,
+        inputs,
+        profile.mode,
+        fuel,
+        profile.summarize_calls,
+    )
 }
 
 /// Runs one concolic execution with full options. When

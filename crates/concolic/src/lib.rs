@@ -25,7 +25,7 @@ mod exec;
 mod path;
 
 pub use context::ConcolicContext;
-pub use exec::{execute, execute_opts, ConcolicRun, SymbolicMode};
+pub use exec::{execute, execute_opts, execute_profiled, ConcolicRun, ExecProfile, SymbolicMode};
 pub use path::{diverged, EntryKind, PathConstraint, PathConstraintDisplay, PathEntry};
 
 #[cfg(test)]

@@ -113,6 +113,23 @@ impl FaultPlan {
     }
 }
 
+/// Schedule-independent chaos key: a hash of per-campaign data (dedup
+/// path hashes, query sequence numbers, input vectors) that identifies
+/// one injectable operation regardless of which worker performs it when.
+pub(crate) fn chaos_key<T: Hash + ?Sized>(data: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    data.hash(&mut h);
+    h.finish()
+}
+
+/// The synthetic fault substituted for a run's outcome by chaos testing.
+pub(crate) fn injected_fault() -> hotg_lang::Fault {
+    hotg_lang::Fault::new(
+        hotg_lang::FaultKind::Injected,
+        "chaos: injected interpreter fault",
+    )
+}
+
 /// One splitmix64 mixing round.
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -146,6 +163,18 @@ impl FaultCounters {
             + self.interp_faults
             + self.probe_failures
             + self.worker_panics
+    }
+
+    /// The counters paired with their sites, in declaration order —
+    /// the engine emits one `FaultInjected` event per non-zero entry.
+    pub(crate) fn per_site(&self) -> [(FaultSite, usize); 5] {
+        [
+            (FaultSite::SolverUnknown, self.solver_unknowns),
+            (FaultSite::SolverErr, self.solver_errs),
+            (FaultSite::InterpFault, self.interp_faults),
+            (FaultSite::ProbeFail, self.probe_failures),
+            (FaultSite::WorkerPanic, self.worker_panics),
+        ]
     }
 
     /// Adds another counter set into this one.

@@ -1,7 +1,9 @@
 //! Driver configuration.
 
 use crate::chaos::FaultPlan;
+use hotg_concolic::SymbolicMode;
 use hotg_solver::ValidityConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// The four test-generation techniques compared throughout the paper.
@@ -39,22 +41,58 @@ impl Technique {
         Technique::HigherOrderCompositional,
     ];
 
-    /// Short label used in report tables.
-    pub fn label(self) -> &'static str {
+    /// The symbolic-evaluation mode this technique derives its path
+    /// constraints from; `None` for the blackbox random baseline. This is
+    /// the single source of the technique ↔ mode mapping — the search
+    /// strategies and [`Technique::name`] both derive from it.
+    pub fn symbolic_mode(self) -> Option<SymbolicMode> {
+        match self {
+            Technique::Random => None,
+            Technique::DartUnsound => Some(SymbolicMode::UnsoundConcretize),
+            Technique::DartSound => Some(SymbolicMode::SoundConcretize),
+            Technique::DartSoundDelayed => Some(SymbolicMode::SoundConcretizeDelayed),
+            Technique::HigherOrder | Technique::HigherOrderCompositional => {
+                Some(SymbolicMode::Uninterpreted)
+            }
+        }
+    }
+
+    /// Canonical technique name, used by report tables, the CLI parsers
+    /// ([`FromStr`](std::str::FromStr)), and [`Display`](std::fmt::Display).
+    /// Where a technique coincides with a symbolic mode, the string is the
+    /// mode's label — defined once in `hotg-concolic`.
+    pub fn name(self) -> &'static str {
         match self {
             Technique::Random => "random",
-            Technique::DartUnsound => "dart-unsound",
-            Technique::DartSound => "dart-sound",
-            Technique::DartSoundDelayed => "dart-sound-delayed",
-            Technique::HigherOrder => "higher-order",
+            // Same mode as `HigherOrder`, distinguished by summarization.
             Technique::HigherOrderCompositional => "higher-order-comp",
+            t => t.symbolic_mode().expect("whitebox technique").label(),
         }
     }
 }
 
 impl std::fmt::Display for Technique {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Technique {
+    type Err = String;
+
+    /// Parses a canonical technique name (see [`Technique::name`]).
+    fn from_str(s: &str) -> Result<Technique, String> {
+        Technique::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Technique::ALL.iter().map(|t| t.name()).collect();
+                format!(
+                    "unknown technique `{s}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
     }
 }
 
@@ -134,6 +172,13 @@ pub struct DriverConfig {
     /// probe sample loss, and worker panics. `None` (the default) injects
     /// nothing. See [`FaultPlan`].
     pub fault_plan: Option<FaultPlan>,
+    /// Write every [`CampaignEvent`](crate::CampaignEvent) of the
+    /// campaign to this file as JSON Lines (one event per line), for
+    /// debugging and observability. The file is created (truncating any
+    /// previous content) when the campaign starts; a failure to open it
+    /// is reported on stderr and the campaign proceeds without the
+    /// trace. `None` (the default) disables the trace.
+    pub event_trace: Option<PathBuf>,
 }
 
 impl Default for DriverConfig {
@@ -157,6 +202,7 @@ impl Default for DriverConfig {
             retry_escalation: 0.0,
             degradation_ladder: true,
             fault_plan: None,
+            event_trace: None,
         }
     }
 }
@@ -176,11 +222,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn labels_unique() {
-        let labels: std::collections::HashSet<_> =
-            Technique::ALL.iter().map(|t| t.label()).collect();
-        assert_eq!(labels.len(), 6);
+    fn names_unique() {
+        let names: std::collections::HashSet<_> = Technique::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), 6);
         assert_eq!(Technique::HigherOrder.to_string(), "higher-order");
+    }
+
+    #[test]
+    fn names_round_trip_through_from_str() {
+        for t in Technique::ALL {
+            assert_eq!(t.name().parse::<Technique>(), Ok(t));
+        }
+        assert!("no-such-technique".parse::<Technique>().is_err());
+        let err = "x".parse::<Technique>().unwrap_err();
+        assert!(
+            err.contains("higher-order-comp"),
+            "error lists names: {err}"
+        );
+    }
+
+    #[test]
+    fn mode_and_name_stay_aligned() {
+        use hotg_concolic::SymbolicMode;
+        assert_eq!(Technique::Random.symbolic_mode(), None);
+        assert_eq!(
+            Technique::DartSound.symbolic_mode(),
+            Some(SymbolicMode::SoundConcretize)
+        );
+        // Techniques that coincide with a mode reuse its label verbatim.
+        for t in [
+            Technique::DartUnsound,
+            Technique::DartSound,
+            Technique::DartSoundDelayed,
+            Technique::HigherOrder,
+        ] {
+            assert_eq!(t.name(), t.symbolic_mode().unwrap().label());
+        }
     }
 
     #[test]
@@ -200,6 +277,7 @@ mod tests {
         assert_eq!(c.retry_escalation, 0.0);
         assert!(c.degradation_ladder);
         assert!(c.fault_plan.is_none());
+        assert!(c.event_trace.is_none());
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
     }

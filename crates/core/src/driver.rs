@@ -1,4 +1,5 @@
-//! Directed-search drivers for the four test-generation techniques.
+//! The public campaign driver: a thin façade over the strategy-pluggable
+//! [`engine`](crate::engine).
 //!
 //! The search is generational (breadth-first over branch-flip targets, as
 //! in SAGE): every executed run contributes one target per negatable
@@ -14,146 +15,21 @@
 //!   executions when a needed application value is unknown (multi-step
 //!   test generation, §5.3 Example 7).
 //!
-//! # Parallel generational search
-//!
-//! Each generation is processed in two phases. First, its targets are
-//! filtered through the dedup set in deterministic order; then every
-//! surviving target is processed as a *pure function* of the target and a
-//! snapshot of the sample table taken at generation start — solver
-//! queries, strategy interpretation, and probe executions all run against
-//! thread-local state. A `std::thread::scope` worker pool (size
-//! [`DriverConfig::threads`]) pulls targets off an atomic cursor; the
-//! per-target outcomes are merged back into the report, the sample table,
-//! and the next generation's worklist **in target order** on the calling
-//! thread. Because the per-target computation never observes shared
-//! mutable state and the merge order is fixed, the resulting [`Report`]
-//! is identical for every thread count (only the solver-cache hit/miss
-//! counters can differ — racing workers may each miss a key one of them
-//! is about to fill, but the cached values are pure functions of the key).
+//! Each [`Technique`] maps to one strategy object
+//! (`crate::strategy::for_technique`); the engine runs the campaign as a
+//! loop over the strategy and emits a [`CampaignEvent`](crate::CampaignEvent)
+//! stream from which the returned [`Report`] is folded. See the engine
+//! module docs for the parallel generation structure and the determinism
+//! argument.
 
-use crate::chaos::{FaultCounters, FaultSite};
 use crate::config::{DriverConfig, Technique};
-use crate::report::{DegradationLevel, DegradationReason, DegradationRecord};
-use crate::report::{Origin, Report, RunRecord};
-use crate::summaries::{SummaryConfig, SummaryTable};
-use hotg_analysis::{analyze, AnalysisResult, SiteClass};
-use hotg_concolic::{diverged, execute_opts, ConcolicContext, PathConstraint, SymbolicMode};
-use hotg_lang::{BranchId, Fault, FaultKind, InputVector, NativeRegistry, Program};
-use hotg_logic::{Formula, Model, Value};
-use hotg_solver::{
-    Deadline, Interpretation, Samples, SmtResult, SmtSolver, Strategy, ValidityChecker,
-    ValidityOutcome,
-};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::hash::{Hash, Hasher};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
-
-/// A branch-flip target produced by one executed run.
-#[derive(Clone, Debug)]
-struct Target {
-    parent_inputs: Vec<i64>,
-    pc: PathConstraint,
-    /// Index of the branch entry to negate.
-    j: usize,
-    /// Samples observed by the parent run (used when cross-run sampling
-    /// is disabled).
-    parent_samples: Samples,
-}
-
-/// A filtered, ready-to-process target of one generation: the dedup and
-/// feasibility pre-checks ran on the merge thread, so workers start
-/// straight at the solver query.
-struct Job {
-    target: Target,
-    expected: Vec<(BranchId, bool)>,
-    alt: Formula,
-    id: BranchId,
-}
-
-/// One executed run produced while processing a target, together with
-/// everything the merge step folds back into the campaign state.
-struct WorkerRun {
-    record: RunRecord,
-    /// Samples observed by this run (merged into the global table).
-    samples: Samples,
-    /// Branch-flip targets of this run (next generation's worklist).
-    children: Vec<Target>,
-    /// Targets dropped by the static oracle while expanding this run.
-    pruned_static: usize,
-    /// The run's outcome was replaced by an injected interpreter fault
-    /// (chaos testing).
-    injected_fault: bool,
-}
-
-/// Everything one target's processing produced. Workers fill these in
-/// isolation; the campaign merges them in deterministic target order.
-#[derive(Default)]
-struct TargetOutcome {
-    solver_calls: usize,
-    rejected_targets: usize,
-    /// Solver/validity queries that failed with an error.
-    solver_errors: usize,
-    /// Escalated-budget retries of `Unknown` verdicts.
-    budget_escalations: usize,
-    /// The worker processing this target panicked; the panic was caught
-    /// and the target abandoned (its partial outcome is discarded so the
-    /// merged report never depends on how far the worker got).
-    faulted: bool,
-    /// Degradation-ladder rungs taken for this target.
-    degradations: Vec<DegradationRecord>,
-    /// Faults injected while processing this target.
-    faults: FaultCounters,
-    /// Executed runs (probes and generated tests), in execution order.
-    runs: Vec<WorkerRun>,
-}
-
-/// Verdict of one alternate-path satisfiability query, with injected
-/// chaos outcomes folded into the same shape as real ones.
-enum Checked {
-    Sat(Model),
-    Unsat,
-    Unknown,
-    Errored,
-}
-
-/// Schedule-independent chaos key: a hash of per-campaign data (dedup
-/// path hashes, query sequence numbers, input vectors) that identifies
-/// one injectable operation regardless of which worker performs it when.
-fn chaos_key<T: Hash + ?Sized>(data: &T) -> u64 {
-    let mut h = DefaultHasher::new();
-    data.hash(&mut h);
-    h.finish()
-}
-
-/// The synthetic fault substituted for a run's outcome by chaos testing.
-fn injected_fault() -> Fault {
-    Fault::new(FaultKind::Injected, "chaos: injected interpreter fault")
-}
-
-/// Multiplies a node budget by the escalation factor, saturating.
-fn scale_budget(budget: u64, factor: f64) -> u64 {
-    let scaled = budget as f64 * factor;
-    if scaled >= u64::MAX as f64 {
-        u64::MAX
-    } else {
-        scaled as u64
-    }
-}
-
-/// Deterministic dedup key of an expected branch path. Storing the
-/// 64-bit hash instead of the path itself keeps the `seen` set compact:
-/// paths grow linearly with program depth, and every executed run
-/// contributes one per negatable branch.
-fn path_key(path: &[(BranchId, bool)]) -> u64 {
-    let mut h = DefaultHasher::new();
-    path.hash(&mut h);
-    h.finish()
-}
+use crate::engine::Engine;
+use crate::events::{EventSink, NullSink};
+use crate::report::Report;
+use crate::strategy;
+use hotg_analysis::{analyze, AnalysisResult};
+use hotg_concolic::ConcolicContext;
+use hotg_lang::{NativeRegistry, Program};
 
 /// A test-generation campaign on one program.
 #[derive(Debug)]
@@ -193,1031 +69,27 @@ impl<'p> Driver<'p> {
 
     /// Runs a campaign with the given technique and returns its report.
     pub fn run(&self, technique: Technique) -> Report {
+        self.run_with_sink(technique, &mut NullSink)
+    }
+
+    /// Runs a campaign, streaming every [`CampaignEvent`] into `sink`
+    /// (in addition to the report fold and the optional
+    /// [`DriverConfig::event_trace`] file). The returned [`Report`] is
+    /// exactly the fold of the emitted stream, plus wall-clock
+    /// [`Report::elapsed`].
+    ///
+    /// [`CampaignEvent`]: crate::CampaignEvent
+    pub fn run_with_sink(&self, technique: Technique, sink: &mut dyn EventSink) -> Report {
         let start = std::time::Instant::now();
-        let mut report = match technique {
-            Technique::Random => self.random_campaign(),
-            Technique::DartUnsound => self.directed(technique, SymbolicMode::UnsoundConcretize),
-            Technique::DartSound => self.directed(technique, SymbolicMode::SoundConcretize),
-            Technique::DartSoundDelayed => {
-                self.directed(technique, SymbolicMode::SoundConcretizeDelayed)
-            }
-            Technique::HigherOrder => self.directed(technique, SymbolicMode::Uninterpreted),
-            Technique::HigherOrderCompositional => {
-                self.directed(technique, SymbolicMode::Uninterpreted)
-            }
+        let engine = Engine {
+            program: self.program,
+            natives: self.natives,
+            ctx: &self.ctx,
+            analysis: &self.analysis,
+            config: &self.config,
         };
+        let mut report = engine.run(strategy::for_technique(technique), sink);
         report.elapsed = start.elapsed();
         report
-    }
-
-    fn fresh_report(&self, technique: Technique) -> Report {
-        Report {
-            technique,
-            program: self.program.name.clone(),
-            runs: Vec::new(),
-            errors: BTreeMap::new(),
-            coverage: BTreeSet::new(),
-            divergences: 0,
-            probes: 0,
-            solver_calls: 0,
-            rejected_targets: 0,
-            targets_pruned_static: 0,
-            presampled_sites: 0,
-            branch_sites: self.program.branch_count,
-            cache_hits: 0,
-            cache_misses: 0,
-            generation_widths: Vec::new(),
-            solver_errors: 0,
-            targets_degraded: 0,
-            targets_faulted: 0,
-            budget_escalations: 0,
-            fuel_exhausted_runs: 0,
-            fault_kinds: BTreeMap::new(),
-            degradations: Vec::new(),
-            faults_injected: FaultCounters::default(),
-            campaign_timed_out: false,
-            elapsed: std::time::Duration::ZERO,
-        }
-    }
-
-    /// The campaign-wide wall-clock cutoff, fixed at campaign start.
-    fn campaign_end(&self) -> Deadline {
-        match self.config.campaign_deadline {
-            Some(d) => Deadline::after(d),
-            None => Deadline::NONE,
-        }
-    }
-
-    fn random_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
-        let (lo, hi) = self.config.random_range;
-        (0..self.program.input_width())
-            .map(|_| rng.gen_range(lo..=hi))
-            .collect()
-    }
-
-    fn initial_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
-        self.config
-            .initial_inputs
-            .clone()
-            .unwrap_or_else(|| self.random_inputs(rng))
-    }
-
-    /// Blackbox random testing baseline.
-    fn random_campaign(&self) -> Report {
-        let mut report = self.fresh_report(Technique::Random);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let campaign_end = self.campaign_end();
-        for i in 0..self.config.max_runs {
-            if campaign_end.expired() {
-                report.campaign_timed_out = true;
-                break;
-            }
-            let inputs = if i == 0 {
-                self.initial_inputs(&mut rng)
-            } else {
-                self.random_inputs(&mut rng)
-            };
-            let (outcome, trace) = hotg_lang::run(
-                self.program,
-                self.natives,
-                &InputVector::new(inputs.clone()),
-                self.config.fuel,
-            );
-            let outcome = if self.chaos_interp_fault(&inputs) {
-                report.faults_injected.interp_faults += 1;
-                hotg_lang::Outcome::RuntimeFault(injected_fault())
-            } else {
-                outcome
-            };
-            let record = RunRecord {
-                inputs,
-                outcome,
-                origin: if i == 0 {
-                    Origin::Initial
-                } else {
-                    Origin::Random
-                },
-                diverged: None,
-                path: trace.branches.clone(),
-            };
-            self.account(&mut report, record);
-        }
-        report
-    }
-
-    /// Records a run into the report (coverage, errors).
-    fn account(&self, report: &mut Report, record: RunRecord) {
-        for &(id, dir) in &record.path {
-            report.coverage.insert((id, dir));
-        }
-        match &record.outcome {
-            hotg_lang::Outcome::Error(code) => {
-                let idx = report.runs.len();
-                report.errors.entry(*code).or_insert(idx);
-            }
-            hotg_lang::Outcome::RuntimeFault(fault) => {
-                *report.fault_kinds.entry(fault.kind).or_insert(0) += 1;
-            }
-            hotg_lang::Outcome::OutOfFuel => report.fuel_exhausted_runs += 1,
-            hotg_lang::Outcome::Returned => {}
-        }
-        if record.diverged == Some(true) {
-            report.divergences += 1;
-        }
-        if matches!(record.origin, Origin::Probe { .. }) {
-            report.probes += 1;
-        }
-        report.runs.push(record);
-    }
-
-    /// Executes one concolic run and expands its branch-flip targets.
-    /// Pure with respect to the campaign state: safe to call from worker
-    /// threads; the result is folded in by [`Driver::merge_run`].
-    fn execute_run(
-        &self,
-        inputs: Vec<i64>,
-        origin: Origin,
-        expected: Option<&[(BranchId, bool)]>,
-        mode: SymbolicMode,
-        summarize: bool,
-    ) -> WorkerRun {
-        let run = execute_opts(
-            &self.ctx,
-            self.program,
-            self.natives,
-            &InputVector::new(inputs.clone()),
-            mode,
-            self.config.fuel,
-            summarize,
-        );
-        // Chaos: replace the outcome with a synthetic interpreter fault.
-        // The divergence flag is cleared (an injected fault is not a
-        // soundness verdict on the technique) and the run's branch-flip
-        // targets are dropped, as a genuinely faulting run would have
-        // stopped before producing them.
-        let injected = self.chaos_interp_fault(&inputs);
-        let (outcome, div) = if injected {
-            (hotg_lang::Outcome::RuntimeFault(injected_fault()), None)
-        } else {
-            (
-                run.outcome.clone(),
-                expected.map(|e| diverged(e, &run.trace.branches)),
-            )
-        };
-        let record = RunRecord {
-            inputs: inputs.clone(),
-            outcome,
-            origin,
-            diverged: div,
-            path: run.trace.branches.clone(),
-        };
-        let mut children = Vec::new();
-        let mut pruned_static = 0;
-        let expand: Vec<usize> = if injected {
-            Vec::new()
-        } else {
-            run.pc.branch_indices()
-        };
-        for j in expand {
-            // A constraint that folded to `true` has no input dependence:
-            // its negation is trivially infeasible, so it is not a target.
-            if run.pc.entries[j].constraint == Formula::True {
-                continue;
-            }
-            // Static oracle: if the analysis proves the flipped direction
-            // can never execute (constant branch condition), skip the
-            // target without spending a solver/validity query on it.
-            if self.config.static_pruning {
-                let (id, taken) = run.pc.entries[j].branch.expect("branch entry");
-                if self.analysis.flip_infeasible(id, !taken) {
-                    pruned_static += 1;
-                    continue;
-                }
-            }
-            children.push(Target {
-                parent_inputs: inputs.clone(),
-                pc: run.pc.clone(),
-                j,
-                parent_samples: run.samples.clone(),
-            });
-        }
-        WorkerRun {
-            record,
-            samples: run.samples,
-            children,
-            pruned_static,
-            injected_fault: injected,
-        }
-    }
-
-    /// Chaos: should this run's outcome become an injected fault?
-    fn chaos_interp_fault(&self, inputs: &[i64]) -> bool {
-        self.config
-            .fault_plan
-            .as_ref()
-            .is_some_and(|p| p.roll(FaultSite::InterpFault, chaos_key(inputs)))
-    }
-
-    /// Folds one executed run into the campaign state (merge thread only).
-    fn merge_run(
-        &self,
-        run: WorkerRun,
-        report: &mut Report,
-        pending: &mut Vec<Target>,
-        samples_acc: &mut Samples,
-    ) {
-        samples_acc.merge(&run.samples);
-        report.targets_pruned_static += run.pruned_static;
-        if run.injected_fault {
-            report.faults_injected.interp_faults += 1;
-        }
-        self.account(report, run.record);
-        pending.extend(run.children);
-    }
-
-    /// Folds one target's outcome into the campaign state, in target
-    /// order (merge thread only).
-    fn merge_outcome(
-        &self,
-        outcome: TargetOutcome,
-        report: &mut Report,
-        pending: &mut Vec<Target>,
-        samples_acc: &mut Samples,
-    ) {
-        report.solver_calls += outcome.solver_calls;
-        report.rejected_targets += outcome.rejected_targets;
-        report.solver_errors += outcome.solver_errors;
-        report.budget_escalations += outcome.budget_escalations;
-        report.faults_injected.absorb(&outcome.faults);
-        if outcome.faulted {
-            report.targets_faulted += 1;
-        }
-        if !outcome.degradations.is_empty() {
-            report.targets_degraded += 1;
-        }
-        report.degradations.extend(outcome.degradations);
-        for run in outcome.runs {
-            self.merge_run(run, report, pending, samples_acc);
-        }
-    }
-
-    /// Merges solved/strategy values over the parent inputs: DART
-    /// generates "variants of the previous inputs" (§1), so inputs the
-    /// solver left unconstrained keep their old values.
-    fn merge_inputs(&self, parent: &[i64], values: &BTreeMap<hotg_logic::Var, i64>) -> Vec<i64> {
-        let mut out = parent.to_vec();
-        for (i, v) in self.ctx.input_vars().iter().enumerate() {
-            if let Some(val) = values.get(v) {
-                out[i] = *val;
-            }
-        }
-        out
-    }
-
-    /// The directed search shared by the whitebox techniques (see the
-    /// module docs for the parallel generation structure).
-    fn directed(&self, technique: Technique, mode: SymbolicMode) -> Report {
-        let summarize = technique == Technique::HigherOrderCompositional;
-        let summaries = if summarize && !self.program.functions.is_empty() {
-            Some(SummaryTable::compute(
-                self.program,
-                self.natives,
-                &SummaryConfig::default(),
-            ))
-        } else {
-            None
-        };
-        let mut report = self.fresh_report(technique);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut pending: Vec<Target> = Vec::new();
-        let mut seen: HashSet<u64> = HashSet::new();
-        let mut samples_acc = Samples::new();
-        let smt = SmtSolver::with_config(self.config.validity.smt);
-        let validity = ValidityChecker::with_config(self.config.validity);
-        let campaign_end = self.campaign_end();
-
-        // UF-placement oracle: native call sites whose arguments are
-        // statically constant always evaluate the same application, so
-        // their input/output pair can be put into the `IOF` table before
-        // the first run — a validity proof may then use the pair without
-        // a probe execution (Figure 3's sampled table, filled eagerly).
-        if self.config.static_pruning {
-            for site in self.analysis.native_sites() {
-                let SiteClass::ConstArgs(args) = &site.class else {
-                    continue;
-                };
-                let Some(fsym) = self.ctx.native_sym(&site.name) else {
-                    continue;
-                };
-                if let Ok(out) = self.natives.call(&site.name, args) {
-                    samples_acc.record(fsym, args.clone(), out);
-                    report.presampled_sites += 1;
-                }
-            }
-        }
-
-        let initial = self.initial_inputs(&mut rng);
-        let run = self.execute_run(initial, Origin::Initial, None, mode, summarize);
-        self.merge_run(run, &mut report, &mut pending, &mut samples_acc);
-        for seed_inputs in &self.config.seed_corpus {
-            let run = self.execute_run(seed_inputs.clone(), Origin::Seed, None, mode, summarize);
-            self.merge_run(run, &mut report, &mut pending, &mut samples_acc);
-        }
-
-        let threads = self.config.threads.max(1);
-        'search: while !pending.is_empty() && report.runs.len() < self.config.max_runs {
-            if campaign_end.expired() {
-                report.campaign_timed_out = true;
-                break;
-            }
-            // Filter the generation through the dedup set sequentially, in
-            // target order — the set is only consulted here, so worker
-            // scheduling cannot affect which targets survive.
-            let mut jobs: Vec<Job> = Vec::new();
-            for target in std::mem::take(&mut pending) {
-                let Some(expected) = target.pc.expected_path(target.j) else {
-                    continue;
-                };
-                if !seen.insert(path_key(&expected)) {
-                    continue;
-                }
-                let Some(alt) = target.pc.alt(target.j) else {
-                    continue;
-                };
-                let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
-                jobs.push(Job {
-                    target,
-                    expected,
-                    alt,
-                    id,
-                });
-            }
-            if jobs.is_empty() {
-                break;
-            }
-            report.generation_widths.push(jobs.len());
-            // Snapshot of the sample table all of this generation's
-            // targets are checked against (per-target probe runs extend a
-            // thread-local copy).
-            let snapshot = samples_acc.clone();
-            if threads == 1 || jobs.len() == 1 {
-                for job in &jobs {
-                    if report.runs.len() >= self.config.max_runs {
-                        break 'search;
-                    }
-                    if campaign_end.expired() {
-                        report.campaign_timed_out = true;
-                        break 'search;
-                    }
-                    let out = self.process_target(
-                        job,
-                        &snapshot,
-                        technique,
-                        mode,
-                        summarize,
-                        summaries.as_ref(),
-                        &smt,
-                        &validity,
-                        campaign_end,
-                    );
-                    self.merge_outcome(out, &mut report, &mut pending, &mut samples_acc);
-                }
-            } else {
-                let slots: Vec<OnceLock<TargetOutcome>> =
-                    jobs.iter().map(|_| OnceLock::new()).collect();
-                let cursor = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..threads.min(jobs.len()) {
-                        scope.spawn(|| loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(job) = jobs.get(i) else {
-                                break;
-                            };
-                            let out = self.process_target(
-                                job,
-                                &snapshot,
-                                technique,
-                                mode,
-                                summarize,
-                                summaries.as_ref(),
-                                &smt,
-                                &validity,
-                                campaign_end,
-                            );
-                            slots[i].set(out).unwrap_or_else(|_| {
-                                unreachable!("each slot has exactly one owner")
-                            });
-                        });
-                    }
-                });
-                for slot in slots {
-                    if report.runs.len() >= self.config.max_runs {
-                        break 'search;
-                    }
-                    if campaign_end.expired() {
-                        report.campaign_timed_out = true;
-                        break 'search;
-                    }
-                    let out = slot.into_inner().expect("worker populated slot");
-                    self.merge_outcome(out, &mut report, &mut pending, &mut samples_acc);
-                }
-            }
-        }
-        let stats = smt.cache_stats().merged(validity.cache_stats());
-        report.cache_hits = stats.hits;
-        report.cache_misses = stats.misses;
-        report
-    }
-
-    /// Processes one target against the generation snapshot, with the
-    /// worker's panic isolated: a panic (organic or injected) abandons
-    /// only this target, which is counted as *faulted* instead of
-    /// aborting the campaign. The partial outcome of a panicked worker is
-    /// discarded wholesale, so the merged report never depends on how far
-    /// the worker got before unwinding.
-    #[allow(clippy::too_many_arguments)]
-    fn process_target(
-        &self,
-        job: &Job,
-        snapshot: &Samples,
-        technique: Technique,
-        mode: SymbolicMode,
-        summarize: bool,
-        summaries: Option<&SummaryTable>,
-        smt: &SmtSolver,
-        validity: &ValidityChecker,
-        campaign_end: Deadline,
-    ) -> TargetOutcome {
-        let tkey = path_key(&job.expected);
-        let inject_panic = self
-            .config
-            .fault_plan
-            .as_ref()
-            .is_some_and(|p| p.roll(FaultSite::WorkerPanic, tkey));
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            self.process_target_inner(
-                job,
-                snapshot,
-                technique,
-                mode,
-                summarize,
-                summaries,
-                smt,
-                validity,
-                campaign_end,
-                tkey,
-                inject_panic,
-            )
-        }));
-        match result {
-            Ok(out) => out,
-            Err(_) => TargetOutcome {
-                faulted: true,
-                faults: FaultCounters {
-                    worker_panics: usize::from(inject_panic),
-                    ..FaultCounters::default()
-                },
-                ..TargetOutcome::default()
-            },
-        }
-    }
-
-    /// The isolated body of [`Driver::process_target`]. Pure with respect
-    /// to the campaign state (worker-safe).
-    #[allow(clippy::too_many_arguments)]
-    fn process_target_inner(
-        &self,
-        job: &Job,
-        snapshot: &Samples,
-        technique: Technique,
-        mode: SymbolicMode,
-        summarize: bool,
-        summaries: Option<&SummaryTable>,
-        smt: &SmtSolver,
-        validity: &ValidityChecker,
-        campaign_end: Deadline,
-        tkey: u64,
-        inject_panic: bool,
-    ) -> TargetOutcome {
-        if inject_panic {
-            panic!("chaos: injected worker panic");
-        }
-        let mut out = TargetOutcome::default();
-        // Per-target wall-clock cutoff, bounded by the campaign deadline,
-        // threaded into the solver stack through reconfigured clones that
-        // share the campaign's caches. Deadline-induced `Unknown`s are
-        // never cached (see `SmtSolver::check`), so an expired target
-        // cannot poison another target's verdict.
-        let deadline = match self.config.target_deadline {
-            Some(d) => Deadline::after(d).earliest(campaign_end),
-            None => campaign_end,
-        };
-        let (smt_local, validity_local);
-        let (smt, validity) = if deadline.is_set() {
-            let mut vcfg = *validity.config();
-            vcfg.smt.deadline = deadline;
-            smt_local = smt.reconfigured(vcfg.smt);
-            validity_local = validity.reconfigured(vcfg);
-            (&smt_local, &validity_local)
-        } else {
-            (smt, validity)
-        };
-        match technique {
-            Technique::DartUnsound | Technique::DartSound | Technique::DartSoundDelayed => {
-                out.solver_calls += 1;
-                let checked = match self.chaos_solver(&mut out, chaos_key(&(tkey, 0usize))) {
-                    Some(c) => c,
-                    None => match smt.check(&job.alt) {
-                        Ok(SmtResult::Sat(m)) => Checked::Sat(m),
-                        Ok(SmtResult::Unsat) => Checked::Unsat,
-                        Ok(SmtResult::Unknown) => Checked::Unknown,
-                        Err(_) => Checked::Errored,
-                    },
-                };
-                match checked {
-                    Checked::Sat(model) => {
-                        self.run_solved(job, &model, mode, summarize, &mut out);
-                    }
-                    Checked::Unsat => out.rejected_targets += 1,
-                    Checked::Unknown => {
-                        // One escalated-budget retry, then the ladder.
-                        match self.escalated_smt(smt, &job.alt, &mut out) {
-                            Some(SmtResult::Sat(model)) => {
-                                self.run_solved(job, &model, mode, summarize, &mut out);
-                            }
-                            Some(SmtResult::Unsat) => out.rejected_targets += 1,
-                            _ => self.concede_target(
-                                job,
-                                mode,
-                                summarize,
-                                smt,
-                                DegradationReason::SolverUnknown,
-                                &mut out,
-                            ),
-                        }
-                    }
-                    Checked::Errored => {
-                        out.solver_errors += 1;
-                        self.concede_target(
-                            job,
-                            mode,
-                            summarize,
-                            smt,
-                            DegradationReason::SolverError,
-                            &mut out,
-                        );
-                    }
-                }
-            }
-            Technique::HigherOrder | Technique::HigherOrderCompositional => {
-                self.higher_order_target(
-                    smt, validity, job, snapshot, summaries, mode, summarize, tkey, &mut out,
-                );
-            }
-            Technique::Random => unreachable!("random is not a directed search"),
-        }
-        out
-    }
-
-    /// Turns a satisfying model into a generated test run.
-    fn run_solved(
-        &self,
-        job: &Job,
-        model: &Model,
-        mode: SymbolicMode,
-        summarize: bool,
-        out: &mut TargetOutcome,
-    ) {
-        let mut values = BTreeMap::new();
-        for v in job.alt.vars() {
-            if let Some(Value::Int(x)) = model.var(v) {
-                values.insert(v, x);
-            }
-        }
-        let inputs = self.merge_inputs(&job.target.parent_inputs, &values);
-        let run = self.execute_run(
-            inputs,
-            Origin::Solved { target: job.id },
-            Some(&job.expected),
-            mode,
-            summarize,
-        );
-        out.runs.push(run);
-    }
-
-    /// The technique's own attempt at a target conceded (`Unknown` or an
-    /// errored query): try the degradation ladder, and reject the target
-    /// if no rung recovers it.
-    fn concede_target(
-        &self,
-        job: &Job,
-        mode: SymbolicMode,
-        summarize: bool,
-        smt: &SmtSolver,
-        reason: DegradationReason,
-        out: &mut TargetOutcome,
-    ) {
-        if !self.degrade_target(job, mode, summarize, smt, reason, out) {
-            out.rejected_targets += 1;
-        }
-    }
-
-    /// Chaos: decides whether the solver/validity query identified by
-    /// `key` is forced to fail. An injected error wins over an injected
-    /// `Unknown` when both fire.
-    fn chaos_solver(&self, out: &mut TargetOutcome, key: u64) -> Option<Checked> {
-        let plan = self.config.fault_plan.as_ref()?;
-        if plan.roll(FaultSite::SolverErr, key) {
-            out.faults.solver_errs += 1;
-            return Some(Checked::Errored);
-        }
-        if plan.roll(FaultSite::SolverUnknown, key) {
-            out.faults.solver_unknowns += 1;
-            return Some(Checked::Unknown);
-        }
-        None
-    }
-
-    /// Chaos: decides whether a probe run's observed samples are lost.
-    fn chaos_probe(&self, out: &mut TargetOutcome, key: u64) -> bool {
-        let fired = self
-            .config
-            .fault_plan
-            .as_ref()
-            .is_some_and(|p| p.roll(FaultSite::ProbeFail, key));
-        if fired {
-            out.faults.probe_failures += 1;
-        }
-        fired
-    }
-
-    /// One escalated-budget retry of an `Unknown` satisfiability verdict
-    /// (`DriverConfig::retry_escalation`). Runs on a detached solver:
-    /// the inflated-budget verdict must not leak into the shared caches,
-    /// where it would make other targets' outcomes depend on whether this
-    /// retry ran first.
-    fn escalated_smt(
-        &self,
-        smt: &SmtSolver,
-        alt: &Formula,
-        out: &mut TargetOutcome,
-    ) -> Option<SmtResult> {
-        let factor = self.config.retry_escalation;
-        if factor <= 1.0 {
-            return None;
-        }
-        let mut cfg = *smt.config();
-        cfg.total_node_budget = scale_budget(cfg.total_node_budget, factor);
-        cfg.lia.node_budget = scale_budget(cfg.lia.node_budget, factor);
-        out.budget_escalations += 1;
-        out.solver_calls += 1;
-        smt.detached(cfg).check(alt).ok()
-    }
-
-    /// Escalated-budget retry of an `Unknown` validity verdict; same
-    /// detachment rationale as [`Driver::escalated_smt`].
-    fn escalated_validity(
-        &self,
-        validity: &ValidityChecker,
-        samples: &Samples,
-        extra: &Formula,
-        alt: &Formula,
-        out: &mut TargetOutcome,
-    ) -> Option<ValidityOutcome> {
-        let factor = self.config.retry_escalation;
-        if factor <= 1.0 {
-            return None;
-        }
-        let mut cfg = *validity.config();
-        cfg.smt.total_node_budget = scale_budget(cfg.smt.total_node_budget, factor);
-        cfg.smt.lia.node_budget = scale_budget(cfg.smt.lia.node_budget, factor);
-        out.budget_escalations += 1;
-        out.solver_calls += 1;
-        validity
-            .detached(cfg)
-            .check_with(self.ctx.input_vars(), samples, extra, alt)
-            .ok()
-    }
-
-    /// The degradation ladder (Theorem 4's fallback, operationalized):
-    /// re-attempts a conceded target under progressively weaker symbolic
-    /// modes — sound concretization first (still divergence-free), then
-    /// DART's unsound concretization as a last resort. Returns `true` if
-    /// some rung generated a test; every attempted rung is recorded.
-    ///
-    /// The parent inputs are re-executed under the demoted mode to obtain
-    /// a comparable path constraint. Concrete execution is identical
-    /// across modes, so the demoted run's *branch* entries line up 1:1
-    /// with the original run's — entry positions differ (sound
-    /// concretization interleaves pinning entries), hence the mapping
-    /// through branch order below.
-    fn degrade_target(
-        &self,
-        job: &Job,
-        campaign_mode: SymbolicMode,
-        summarize: bool,
-        smt: &SmtSolver,
-        reason: DegradationReason,
-        out: &mut TargetOutcome,
-    ) -> bool {
-        if !self.config.degradation_ladder {
-            return false;
-        }
-        let levels: &[DegradationLevel] = match campaign_mode {
-            SymbolicMode::Uninterpreted => &[DegradationLevel::Sound, DegradationLevel::Unsound],
-            SymbolicMode::SoundConcretize | SymbolicMode::SoundConcretizeDelayed => {
-                &[DegradationLevel::Unsound]
-            }
-            // Already the weakest mode: nothing to demote to.
-            SymbolicMode::UnsoundConcretize => &[],
-        };
-        // Position of the flipped branch in the parent's branch order.
-        let Some(branch_pos) = job
-            .target
-            .pc
-            .branch_indices()
-            .iter()
-            .position(|&j| j == job.target.j)
-        else {
-            return false;
-        };
-        for &level in levels {
-            let demoted_mode = match level {
-                DegradationLevel::Sound => SymbolicMode::SoundConcretize,
-                DegradationLevel::Unsound => SymbolicMode::UnsoundConcretize,
-            };
-            let mut rung = DegradationRecord {
-                target: job.id,
-                reason,
-                level,
-                recovered: false,
-            };
-            let parent = execute_opts(
-                &self.ctx,
-                self.program,
-                self.natives,
-                &InputVector::new(job.target.parent_inputs.clone()),
-                demoted_mode,
-                self.config.fuel,
-                summarize,
-            );
-            let demoted_alt = parent
-                .pc
-                .branch_indices()
-                .get(branch_pos)
-                .and_then(|&dj| parent.pc.alt(dj));
-            let Some(alt) = demoted_alt else {
-                out.degradations.push(rung);
-                continue;
-            };
-            out.solver_calls += 1;
-            let model = match smt.check(&alt) {
-                Ok(SmtResult::Sat(m)) => Some(m),
-                Ok(_) => None,
-                Err(_) => {
-                    out.solver_errors += 1;
-                    None
-                }
-            };
-            let Some(model) = model else {
-                out.degradations.push(rung);
-                continue;
-            };
-            let mut values = BTreeMap::new();
-            for v in alt.vars() {
-                if let Some(Value::Int(x)) = model.var(v) {
-                    values.insert(v, x);
-                }
-            }
-            let inputs = self.merge_inputs(&job.target.parent_inputs, &values);
-            let run = self.execute_run(
-                inputs,
-                Origin::Degraded {
-                    target: job.id,
-                    level,
-                },
-                Some(&job.expected),
-                campaign_mode,
-                summarize,
-            );
-            out.runs.push(run);
-            rung.recovered = true;
-            out.degradations.push(rung);
-            return true;
-        }
-        false
-    }
-
-    /// Processes one target with higher-order test generation, including
-    /// multi-step probing. Probe runs extend a thread-local copy of the
-    /// generation snapshot; the merge step folds them into the global
-    /// table afterwards.
-    #[allow(clippy::too_many_arguments)]
-    fn higher_order_target(
-        &self,
-        smt: &SmtSolver,
-        validity: &ValidityChecker,
-        job: &Job,
-        snapshot: &Samples,
-        summaries: Option<&SummaryTable>,
-        mode: SymbolicMode,
-        summarize: bool,
-        tkey: u64,
-        out: &mut TargetOutcome,
-    ) {
-        let extra = summaries
-            .map(|t| t.antecedent_for(&job.alt))
-            .unwrap_or(Formula::True);
-        let mut local = snapshot.clone();
-        let mut probes_left = self.config.max_probes_per_target;
-        let mut query_seq = 0usize;
-        loop {
-            let samples = if self.config.cross_run_samples {
-                local.clone()
-            } else {
-                job.target.parent_samples.clone()
-            };
-            out.solver_calls += 1;
-            query_seq += 1;
-            let checked = match self.chaos_solver(out, chaos_key(&(tkey, query_seq))) {
-                Some(Checked::Errored) => Err(()),
-                Some(_) => Ok(ValidityOutcome::Unknown),
-                None => validity
-                    .check_with(self.ctx.input_vars(), &samples, &extra, &job.alt)
-                    .map_err(|_| ()),
-            };
-            let outcome = match checked {
-                Ok(o) => o,
-                Err(()) => {
-                    out.solver_errors += 1;
-                    self.concede_target(
-                        job,
-                        mode,
-                        summarize,
-                        smt,
-                        DegradationReason::SolverError,
-                        out,
-                    );
-                    return;
-                }
-            };
-            match outcome {
-                ValidityOutcome::Valid(strategy) => {
-                    self.run_strategy(
-                        &strategy,
-                        job,
-                        &mut local,
-                        summarize,
-                        &mut probes_left,
-                        tkey,
-                        out,
-                    );
-                    return;
-                }
-                ValidityOutcome::NeedMoreSamples { probe, missing: _ } => {
-                    if probes_left == 0 {
-                        out.rejected_targets += 1;
-                        return;
-                    }
-                    probes_left -= 1;
-                    let inputs = self.merge_inputs(&job.target.parent_inputs, &probe);
-                    let mut run = self.execute_run(
-                        inputs,
-                        Origin::Probe { target: job.id },
-                        None,
-                        SymbolicMode::Uninterpreted,
-                        summarize,
-                    );
-                    // Chaos: a failed probe executes but its observations
-                    // are lost — the campaign must cope with a sample
-                    // table that never grows.
-                    let probe_seq = self.config.max_probes_per_target - probes_left;
-                    if self.chaos_probe(out, chaos_key(&(tkey, probe_seq))) {
-                        run.samples = Samples::new();
-                    } else {
-                        local.merge(&run.samples);
-                    }
-                    out.runs.push(run);
-                    // Retry validity with the enriched sample table.
-                }
-                ValidityOutcome::Invalid { .. } => {
-                    out.rejected_targets += 1;
-                    return;
-                }
-                ValidityOutcome::Unknown => {
-                    // One escalated-budget retry; decisive verdicts are
-                    // honoured, anything else falls to the ladder.
-                    match self.escalated_validity(validity, &samples, &extra, &job.alt, out) {
-                        Some(ValidityOutcome::Valid(strategy)) => {
-                            self.run_strategy(
-                                &strategy,
-                                job,
-                                &mut local,
-                                summarize,
-                                &mut probes_left,
-                                tkey,
-                                out,
-                            );
-                        }
-                        Some(ValidityOutcome::Invalid { .. }) => out.rejected_targets += 1,
-                        _ => self.concede_target(
-                            job,
-                            mode,
-                            summarize,
-                            smt,
-                            DegradationReason::SolverUnknown,
-                            out,
-                        ),
-                    }
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Interprets a validity strategy, probing for missing samples.
-    #[allow(clippy::too_many_arguments)]
-    fn run_strategy(
-        &self,
-        strategy: &Strategy,
-        job: &Job,
-        local: &mut Samples,
-        summarize: bool,
-        probes_left: &mut usize,
-        tkey: u64,
-        out: &mut TargetOutcome,
-    ) {
-        loop {
-            let samples = if self.config.cross_run_samples {
-                local.clone()
-            } else {
-                job.target.parent_samples.clone()
-            };
-            match strategy.interpret(&samples) {
-                Interpretation::Concrete(values) => {
-                    let inputs = self.merge_inputs(&job.target.parent_inputs, &values);
-                    let rendered = strategy.display(self.ctx.sig()).to_string();
-                    let run = self.execute_run(
-                        inputs,
-                        Origin::Strategy {
-                            target: job.id,
-                            strategy: rendered,
-                        },
-                        Some(&job.expected),
-                        SymbolicMode::Uninterpreted,
-                        summarize,
-                    );
-                    local.merge(&run.samples);
-                    out.runs.push(run);
-                    return;
-                }
-                Interpretation::NeedSamples(missing) => {
-                    if *probes_left == 0 {
-                        out.rejected_targets += 1;
-                        return;
-                    }
-                    *probes_left -= 1;
-                    // Intermediate test: parent inputs with the concrete
-                    // part of the strategy applied (paper: probe
-                    // (x = 567, y = 10) to learn h(10)).
-                    let partial = strategy.interpret_partial(&samples);
-                    let inputs = self.merge_inputs(&job.target.parent_inputs, &partial);
-                    let mut run = self.execute_run(
-                        inputs,
-                        Origin::Probe { target: job.id },
-                        None,
-                        SymbolicMode::Uninterpreted,
-                        summarize,
-                    );
-                    // Chaos: a failed probe loses its observations (the
-                    // `probes_left` countdown is shared with the validity
-                    // loop, so sequence numbers stay unique per target).
-                    let probe_seq = self.config.max_probes_per_target - *probes_left;
-                    if self.chaos_probe(out, chaos_key(&(tkey, probe_seq))) {
-                        run.samples = Samples::new();
-                    } else {
-                        local.merge(&run.samples);
-                    }
-                    // If the probe did not record any of the missing
-                    // samples, the program never evaluates those
-                    // applications on this prefix: give up.
-                    let learned = missing
-                        .iter()
-                        .any(|(f, args)| run.samples.lookup(*f, args).is_some());
-                    out.runs.push(run);
-                    if !learned && !self.config.cross_run_samples {
-                        out.rejected_targets += 1;
-                        return;
-                    }
-                    let now_known = missing
-                        .iter()
-                        .all(|(f, args)| local.lookup(*f, args).is_some());
-                    if !now_known && *probes_left == 0 {
-                        out.rejected_targets += 1;
-                        return;
-                    }
-                }
-            }
-        }
     }
 }

@@ -1,0 +1,445 @@
+//! The strategy-pluggable campaign engine.
+//!
+//! The engine owns everything a test-generation campaign shares across
+//! techniques — the generational scheduler ([`scheduler`]), the
+//! degradation ladder ([`ladder`]), chaos injection, panic isolation,
+//! escalated-budget retries, and the merge of worker results — while
+//! the technique-specific behavior (path-constraint production, flip
+//! query construction, probe/multi-step handling) lives behind the
+//! [`Strategy`](crate::strategy::Strategy) trait.
+//!
+//! Instead of mutating [`Report`] counters in place, the engine emits a
+//! [`CampaignEvent`] for every observable fact, in deterministic merge
+//! order, and builds its own report by folding that stream (see
+//! [`crate::events`]). Extra sinks — the optional JSONL trace and the
+//! caller's [`EventSink`] — observe the very same stream.
+//!
+//! # Parallel generational search
+//!
+//! Each generation is processed in two phases. First, its targets are
+//! filtered through the dedup set in deterministic order; then every
+//! surviving target is processed as a *pure function* of the target and a
+//! snapshot of the sample table taken at generation start — solver
+//! queries, strategy interpretation, and probe executions all run against
+//! thread-local state. A `std::thread::scope` worker pool (size
+//! [`DriverConfig::threads`]) pulls targets off an atomic cursor; the
+//! per-target outcomes are merged back into the report, the sample table,
+//! and the next generation's worklist **in target order** on the calling
+//! thread. Because the per-target computation never observes shared
+//! mutable state and the merge order is fixed, the resulting [`Report`]
+//! is identical for every thread count (only the solver-cache hit/miss
+//! counters can differ — racing workers may each miss a key one of them
+//! is about to fill, but the cached values are pure functions of the key).
+
+pub(crate) mod ladder;
+pub(crate) mod outcome;
+pub(crate) mod scheduler;
+
+use crate::chaos::{chaos_key, injected_fault, FaultCounters, FaultSite};
+use crate::config::DriverConfig;
+use crate::events::{CampaignEvent, EventSink, JsonlSink};
+use crate::report::{Origin, Report, RunRecord};
+use crate::strategy::{Strategy, TargetCx};
+use hotg_analysis::AnalysisResult;
+use hotg_concolic::{diverged, execute_profiled, ConcolicContext, ExecProfile};
+use hotg_lang::{BranchId, InputVector, NativeRegistry, Program};
+use hotg_logic::{Formula, Var};
+use hotg_solver::{Deadline, Samples, SmtResult, SmtSolver, ValidityChecker, ValidityOutcome};
+use outcome::{path_key, scale_budget, Target, TargetOutcome, WorkerRun};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The shared campaign engine: borrows the program, the symbolic
+/// context, the static-analysis oracle, and the configuration from the
+/// [`Driver`](crate::Driver), and runs one campaign per call.
+pub(crate) struct Engine<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) natives: &'a NativeRegistry,
+    pub(crate) ctx: &'a ConcolicContext,
+    pub(crate) analysis: &'a AnalysisResult,
+    pub(crate) config: &'a DriverConfig,
+}
+
+/// The engine's event funnel: every event is folded into the report
+/// under construction, then forwarded to the optional JSONL trace and
+/// the caller's sink. Emission happens on the merge thread only.
+pub(crate) struct Emitter<'s> {
+    pub(crate) report: Report,
+    trace: Option<JsonlSink>,
+    external: &'s mut dyn EventSink,
+}
+
+impl Emitter<'_> {
+    pub(crate) fn emit(&mut self, event: CampaignEvent) {
+        self.report.fold(&event);
+        if let Some(trace) = &mut self.trace {
+            trace.emit(&event);
+        }
+        self.external.emit(&event);
+    }
+}
+
+/// Mutable search state of one directed campaign, owned by the merge
+/// thread: the next generation's worklist, the dedup set, and the
+/// accumulated `IOF` sample table.
+#[derive(Default)]
+pub(crate) struct SearchState {
+    pub(crate) pending: Vec<Target>,
+    pub(crate) seen: HashSet<u64>,
+    pub(crate) samples: Samples,
+}
+
+impl<'a> Engine<'a> {
+    /// Runs one campaign under `strategy`, streaming events into the
+    /// report fold, the configured trace, and `external`.
+    pub(crate) fn run(&self, strategy: &dyn Strategy, external: &mut dyn EventSink) -> Report {
+        let trace = self.config.event_trace.as_ref().and_then(|path| {
+            JsonlSink::create(path)
+                .map_err(|e| {
+                    eprintln!("hotg: cannot open event trace {}: {e}", path.display());
+                })
+                .ok()
+        });
+        let mut em = Emitter {
+            report: Report::empty(),
+            trace,
+            external,
+        };
+        em.emit(CampaignEvent::CampaignStarted {
+            technique: strategy.technique(),
+            program: self.program.name.clone(),
+            branch_sites: self.program.branch_count,
+        });
+        if strategy.is_directed() {
+            self.directed(strategy, &mut em);
+        } else {
+            self.random_campaign(&mut em);
+        }
+        em.emit(CampaignEvent::CampaignFinished);
+        em.report
+    }
+
+    /// The campaign-wide wall-clock cutoff, fixed at campaign start.
+    pub(crate) fn campaign_end(&self) -> Deadline {
+        match self.config.campaign_deadline {
+            Some(d) => Deadline::after(d),
+            None => Deadline::NONE,
+        }
+    }
+
+    fn random_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
+        let (lo, hi) = self.config.random_range;
+        (0..self.program.input_width())
+            .map(|_| rng.gen_range(lo..=hi))
+            .collect()
+    }
+
+    pub(crate) fn initial_inputs(&self, rng: &mut StdRng) -> Vec<i64> {
+        self.config
+            .initial_inputs
+            .clone()
+            .unwrap_or_else(|| self.random_inputs(rng))
+    }
+
+    /// Blackbox random testing baseline (the only non-directed
+    /// strategy: no symbolic evaluation, no targets, no solver).
+    fn random_campaign(&self, em: &mut Emitter<'_>) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let campaign_end = self.campaign_end();
+        for i in 0..self.config.max_runs {
+            if campaign_end.expired() {
+                em.emit(CampaignEvent::CampaignTimedOut);
+                break;
+            }
+            let inputs = if i == 0 {
+                self.initial_inputs(&mut rng)
+            } else {
+                self.random_inputs(&mut rng)
+            };
+            let (outcome, trace) = hotg_lang::run(
+                self.program,
+                self.natives,
+                &InputVector::new(inputs.clone()),
+                self.config.fuel,
+            );
+            let outcome = if self.chaos_interp_fault(&inputs) {
+                em.emit(CampaignEvent::FaultInjected {
+                    site: FaultSite::InterpFault,
+                    count: 1,
+                });
+                hotg_lang::Outcome::RuntimeFault(injected_fault())
+            } else {
+                outcome
+            };
+            let record = RunRecord {
+                inputs,
+                outcome,
+                origin: if i == 0 {
+                    Origin::Initial
+                } else {
+                    Origin::Random
+                },
+                diverged: None,
+                path: trace.branches.clone(),
+            };
+            em.emit(CampaignEvent::RunExecuted {
+                record: Box::new(record),
+            });
+        }
+    }
+
+    /// Executes one concolic run under `profile` and expands its
+    /// branch-flip targets. Pure with respect to the campaign state:
+    /// safe to call from worker threads; the result is folded in by
+    /// [`Engine::merge_run`].
+    pub(crate) fn execute_run(
+        &self,
+        inputs: Vec<i64>,
+        origin: Origin,
+        expected: Option<&[(BranchId, bool)]>,
+        profile: ExecProfile,
+    ) -> WorkerRun {
+        let run = execute_profiled(
+            self.ctx,
+            self.program,
+            self.natives,
+            &InputVector::new(inputs.clone()),
+            self.config.fuel,
+            profile,
+        );
+        // Chaos: replace the outcome with a synthetic interpreter fault.
+        // The divergence flag is cleared (an injected fault is not a
+        // soundness verdict on the technique) and the run's branch-flip
+        // targets are dropped, as a genuinely faulting run would have
+        // stopped before producing them.
+        let injected = self.chaos_interp_fault(&inputs);
+        let (outcome, div) = if injected {
+            (hotg_lang::Outcome::RuntimeFault(injected_fault()), None)
+        } else {
+            (
+                run.outcome.clone(),
+                expected.map(|e| diverged(e, &run.trace.branches)),
+            )
+        };
+        let record = RunRecord {
+            inputs: inputs.clone(),
+            outcome,
+            origin,
+            diverged: div,
+            path: run.trace.branches.clone(),
+        };
+        let mut children = Vec::new();
+        let mut pruned_static = 0;
+        let expand: Vec<usize> = if injected {
+            Vec::new()
+        } else {
+            run.pc.branch_indices()
+        };
+        for j in expand {
+            // A constraint that folded to `true` has no input dependence:
+            // its negation is trivially infeasible, so it is not a target.
+            if run.pc.entries[j].constraint == Formula::True {
+                continue;
+            }
+            // Static oracle: if the analysis proves the flipped direction
+            // can never execute (constant branch condition), skip the
+            // target without spending a solver/validity query on it.
+            if self.config.static_pruning {
+                let (id, taken) = run.pc.entries[j].branch.expect("branch entry");
+                if self.analysis.flip_infeasible(id, !taken) {
+                    pruned_static += 1;
+                    continue;
+                }
+            }
+            children.push(Target {
+                parent_inputs: inputs.clone(),
+                pc: run.pc.clone(),
+                j,
+                parent_samples: run.samples.clone(),
+            });
+        }
+        WorkerRun {
+            record,
+            samples: run.samples,
+            children,
+            pruned_static,
+            injected_fault: injected,
+        }
+    }
+
+    /// Chaos: should this run's outcome become an injected fault?
+    fn chaos_interp_fault(&self, inputs: &[i64]) -> bool {
+        self.config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.roll(FaultSite::InterpFault, chaos_key(inputs)))
+    }
+
+    /// Chaos: decides whether the solver/validity query identified by
+    /// `key` is forced to fail. An injected error wins over an injected
+    /// `Unknown` when both fire.
+    pub(crate) fn chaos_solver(
+        &self,
+        out: &mut TargetOutcome,
+        key: u64,
+    ) -> Option<outcome::Checked> {
+        let plan = self.config.fault_plan.as_ref()?;
+        if plan.roll(FaultSite::SolverErr, key) {
+            out.faults.solver_errs += 1;
+            return Some(outcome::Checked::Errored);
+        }
+        if plan.roll(FaultSite::SolverUnknown, key) {
+            out.faults.solver_unknowns += 1;
+            return Some(outcome::Checked::Unknown);
+        }
+        None
+    }
+
+    /// Chaos: decides whether a probe run's observed samples are lost.
+    pub(crate) fn chaos_probe(&self, out: &mut TargetOutcome, key: u64) -> bool {
+        let fired = self
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.roll(FaultSite::ProbeFail, key));
+        if fired {
+            out.faults.probe_failures += 1;
+        }
+        fired
+    }
+
+    /// Merges solved/strategy values over the parent inputs: DART
+    /// generates "variants of the previous inputs" (§1), so inputs the
+    /// solver left unconstrained keep their old values.
+    pub(crate) fn merge_inputs(&self, parent: &[i64], values: &BTreeMap<Var, i64>) -> Vec<i64> {
+        let mut out = parent.to_vec();
+        for (i, v) in self.ctx.input_vars().iter().enumerate() {
+            if let Some(val) = values.get(v) {
+                out[i] = *val;
+            }
+        }
+        out
+    }
+
+    /// One escalated-budget retry of an `Unknown` satisfiability verdict
+    /// (`DriverConfig::retry_escalation`). Runs on a detached solver:
+    /// the inflated-budget verdict must not leak into the shared caches,
+    /// where it would make other targets' outcomes depend on whether this
+    /// retry ran first.
+    pub(crate) fn escalated_smt(
+        &self,
+        smt: &SmtSolver,
+        alt: &Formula,
+        out: &mut TargetOutcome,
+    ) -> Option<SmtResult> {
+        let factor = self.config.retry_escalation;
+        if factor <= 1.0 {
+            return None;
+        }
+        let mut cfg = *smt.config();
+        cfg.total_node_budget = scale_budget(cfg.total_node_budget, factor);
+        cfg.lia.node_budget = scale_budget(cfg.lia.node_budget, factor);
+        out.budget_escalations += 1;
+        out.solver_calls += 1;
+        smt.detached(cfg).check(alt).ok()
+    }
+
+    /// Escalated-budget retry of an `Unknown` validity verdict; same
+    /// detachment rationale as [`Engine::escalated_smt`].
+    pub(crate) fn escalated_validity(
+        &self,
+        validity: &ValidityChecker,
+        samples: &Samples,
+        extra: &Formula,
+        alt: &Formula,
+        out: &mut TargetOutcome,
+    ) -> Option<ValidityOutcome> {
+        let factor = self.config.retry_escalation;
+        if factor <= 1.0 {
+            return None;
+        }
+        let mut cfg = *validity.config();
+        cfg.smt.total_node_budget = scale_budget(cfg.smt.total_node_budget, factor);
+        cfg.smt.lia.node_budget = scale_budget(cfg.smt.lia.node_budget, factor);
+        out.budget_escalations += 1;
+        out.solver_calls += 1;
+        validity
+            .detached(cfg)
+            .check_with(self.ctx.input_vars(), samples, extra, alt)
+            .ok()
+    }
+
+    /// Processes one target against the generation snapshot, with the
+    /// worker's panic isolated: a panic (organic or injected) abandons
+    /// only this target, which is counted as *faulted* instead of
+    /// aborting the campaign. The partial outcome of a panicked worker is
+    /// discarded wholesale, so the merged report never depends on how far
+    /// the worker got before unwinding.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_target(
+        &self,
+        strategy: &dyn Strategy,
+        job: &outcome::Job,
+        snapshot: &Samples,
+        summaries: Option<&crate::summaries::SummaryTable>,
+        smt: &SmtSolver,
+        validity: &ValidityChecker,
+        campaign_end: Deadline,
+    ) -> TargetOutcome {
+        let tkey = path_key(&job.expected);
+        let inject_panic = self
+            .config
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.roll(FaultSite::WorkerPanic, tkey));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("chaos: injected worker panic");
+            }
+            let mut out = TargetOutcome::default();
+            // Per-target wall-clock cutoff, bounded by the campaign
+            // deadline, threaded into the solver stack through
+            // reconfigured clones that share the campaign's caches.
+            // Deadline-induced `Unknown`s are never cached (see
+            // `SmtSolver::check`), so an expired target cannot poison
+            // another target's verdict.
+            let deadline = match self.config.target_deadline {
+                Some(d) => Deadline::after(d).earliest(campaign_end),
+                None => campaign_end,
+            };
+            let (smt_local, validity_local);
+            let (smt, validity) = if deadline.is_set() {
+                let mut vcfg = *validity.config();
+                vcfg.smt.deadline = deadline;
+                smt_local = smt.reconfigured(vcfg.smt);
+                validity_local = validity.reconfigured(vcfg);
+                (&smt_local, &validity_local)
+            } else {
+                (smt, validity)
+            };
+            let cx = TargetCx {
+                engine: self,
+                snapshot,
+                summaries,
+                smt,
+                validity,
+                tkey,
+            };
+            strategy.process_target(&cx, job, &mut out);
+            out
+        }));
+        match result {
+            Ok(out) => out,
+            Err(_) => TargetOutcome {
+                faulted: true,
+                faults: FaultCounters {
+                    worker_panics: usize::from(inject_panic),
+                    ..FaultCounters::default()
+                },
+                ..TargetOutcome::default()
+            },
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Generation scheduling for the directed search: dedup filtering of
+//! each generation's targets (merge thread), the worker pool that
+//! processes surviving targets in parallel against a sample-table
+//! snapshot, and the in-order merge that turns worker outcomes into
+//! events. See the [engine module docs](crate::engine) for the
+//! determinism argument.
+
+use super::outcome::{path_key, Job, TargetOutcome, WorkerRun};
+use super::{Emitter, Engine, SearchState};
+use crate::chaos::FaultSite;
+use crate::events::CampaignEvent;
+use crate::report::Origin;
+use crate::strategy::Strategy;
+use crate::summaries::{SummaryConfig, SummaryTable};
+use hotg_solver::{SmtSolver, ValidityChecker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+impl Engine<'_> {
+    /// The generational directed search shared by every whitebox
+    /// strategy: seed runs, then breadth-first generations of
+    /// branch-flip targets, each processed by
+    /// [`Strategy::process_target`] and merged in target order.
+    pub(crate) fn directed(&self, strategy: &dyn Strategy, em: &mut Emitter<'_>) {
+        let profile = strategy.profile();
+        let summaries = if profile.summarize_calls && !self.program.functions.is_empty() {
+            Some(SummaryTable::compute(
+                self.program,
+                self.natives,
+                &SummaryConfig::default(),
+            ))
+        } else {
+            None
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut st = SearchState::default();
+        let smt = SmtSolver::with_config(self.config.validity.smt);
+        let validity = ValidityChecker::with_config(self.config.validity);
+        let campaign_end = self.campaign_end();
+
+        // UF-placement oracle: native call sites whose arguments are
+        // statically constant always evaluate the same application, so
+        // their input/output pair can be put into the `IOF` table before
+        // the first run — a validity proof may then use the pair without
+        // a probe execution (Figure 3's sampled table, filled eagerly).
+        if self.config.static_pruning {
+            for site in self.analysis.native_sites() {
+                let hotg_analysis::SiteClass::ConstArgs(args) = &site.class else {
+                    continue;
+                };
+                let Some(fsym) = self.ctx.native_sym(&site.name) else {
+                    continue;
+                };
+                if let Ok(out) = self.natives.call(&site.name, args) {
+                    st.samples.record(fsym, args.clone(), out);
+                    em.emit(CampaignEvent::SitePresampled);
+                }
+            }
+        }
+
+        let initial = self.initial_inputs(&mut rng);
+        let run = self.execute_run(initial, Origin::Initial, None, profile);
+        self.merge_run(run, em, &mut st);
+        for seed_inputs in &self.config.seed_corpus {
+            let run = self.execute_run(seed_inputs.clone(), Origin::Seed, None, profile);
+            self.merge_run(run, em, &mut st);
+        }
+
+        let threads = self.config.threads.max(1);
+        'search: while !st.pending.is_empty() && em.report.runs.len() < self.config.max_runs {
+            if campaign_end.expired() {
+                em.emit(CampaignEvent::CampaignTimedOut);
+                break;
+            }
+            let jobs = filter_generation(&mut st);
+            if jobs.is_empty() {
+                break;
+            }
+            em.emit(CampaignEvent::GenerationStarted {
+                index: em.report.generation_widths.len(),
+                width: jobs.len(),
+            });
+            for job in &jobs {
+                em.emit(CampaignEvent::TargetScheduled { target: job.id });
+            }
+            // Snapshot of the sample table all of this generation's
+            // targets are checked against (per-target probe runs extend a
+            // thread-local copy).
+            let snapshot = st.samples.clone();
+            if threads == 1 || jobs.len() == 1 {
+                for job in &jobs {
+                    if em.report.runs.len() >= self.config.max_runs {
+                        break 'search;
+                    }
+                    if campaign_end.expired() {
+                        em.emit(CampaignEvent::CampaignTimedOut);
+                        break 'search;
+                    }
+                    let out = self.process_target(
+                        strategy,
+                        job,
+                        &snapshot,
+                        summaries.as_ref(),
+                        &smt,
+                        &validity,
+                        campaign_end,
+                    );
+                    self.merge_outcome(job, out, em, &mut st);
+                }
+            } else {
+                let outcomes = run_pool(threads, &jobs, |job| {
+                    self.process_target(
+                        strategy,
+                        job,
+                        &snapshot,
+                        summaries.as_ref(),
+                        &smt,
+                        &validity,
+                        campaign_end,
+                    )
+                });
+                for (job, out) in jobs.iter().zip(outcomes) {
+                    if em.report.runs.len() >= self.config.max_runs {
+                        break 'search;
+                    }
+                    if campaign_end.expired() {
+                        em.emit(CampaignEvent::CampaignTimedOut);
+                        break 'search;
+                    }
+                    self.merge_outcome(job, out, em, &mut st);
+                }
+            }
+        }
+        let stats = smt.cache_stats().merged(validity.cache_stats());
+        em.emit(CampaignEvent::CacheStats {
+            hits: stats.hits,
+            misses: stats.misses,
+        });
+    }
+
+    /// Translates one executed run into events and folds its samples
+    /// and children into the search state (merge thread only).
+    pub(crate) fn merge_run(&self, run: WorkerRun, em: &mut Emitter<'_>, st: &mut SearchState) {
+        st.samples.merge(&run.samples);
+        if run.pruned_static > 0 {
+            em.emit(CampaignEvent::TargetsPrunedStatic {
+                count: run.pruned_static,
+            });
+        }
+        if run.injected_fault {
+            em.emit(CampaignEvent::FaultInjected {
+                site: FaultSite::InterpFault,
+                count: 1,
+            });
+        }
+        match &run.record.origin {
+            Origin::Probe { target } => em.emit(CampaignEvent::ProbeRun { target: *target }),
+            Origin::Solved { target } | Origin::Strategy { target, .. } => {
+                em.emit(CampaignEvent::TargetSolved { target: *target });
+            }
+            _ => {}
+        }
+        em.emit(CampaignEvent::RunExecuted {
+            record: Box::new(run.record),
+        });
+        st.pending.extend(run.children);
+    }
+
+    /// Translates one target's outcome into events, in target order
+    /// (merge thread only).
+    fn merge_outcome(
+        &self,
+        job: &Job,
+        out: TargetOutcome,
+        em: &mut Emitter<'_>,
+        st: &mut SearchState,
+    ) {
+        if out.solver_calls > 0 {
+            em.emit(CampaignEvent::SolverQueries {
+                count: out.solver_calls,
+            });
+        }
+        if out.rejected_targets > 0 {
+            em.emit(CampaignEvent::TargetsRejected {
+                count: out.rejected_targets,
+            });
+        }
+        if out.solver_errors > 0 {
+            em.emit(CampaignEvent::SolverErrors {
+                count: out.solver_errors,
+            });
+        }
+        if out.budget_escalations > 0 {
+            em.emit(CampaignEvent::BudgetEscalations {
+                count: out.budget_escalations,
+            });
+        }
+        for (site, count) in out.faults.per_site() {
+            if count > 0 {
+                em.emit(CampaignEvent::FaultInjected { site, count });
+            }
+        }
+        if out.faulted {
+            em.emit(CampaignEvent::TargetFaulted { target: job.id });
+        }
+        if !out.degradations.is_empty() {
+            em.emit(CampaignEvent::TargetDegraded {
+                target: job.id,
+                rungs: out.degradations,
+            });
+        }
+        for run in out.runs {
+            self.merge_run(run, em, st);
+        }
+    }
+}
+
+/// Filters the pending generation through the dedup set sequentially,
+/// in target order — the set is only consulted here, on the merge
+/// thread, so worker scheduling cannot affect which targets survive.
+fn filter_generation(st: &mut SearchState) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for target in std::mem::take(&mut st.pending) {
+        let Some(expected) = target.pc.expected_path(target.j) else {
+            continue;
+        };
+        if !st.seen.insert(path_key(&expected)) {
+            continue;
+        }
+        let Some(alt) = target.pc.alt(target.j) else {
+            continue;
+        };
+        let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
+        jobs.push(Job {
+            target,
+            expected,
+            alt,
+            id,
+        });
+    }
+    jobs
+}
+
+/// Processes every job on a scoped worker pool and returns the outcomes
+/// in job order. Workers pull jobs off an atomic cursor; each outcome
+/// goes into its job's slot, so the result order is independent of
+/// worker scheduling.
+fn run_pool<F>(threads: usize, jobs: &[Job], process: F) -> Vec<TargetOutcome>
+where
+    F: Fn(&Job) -> TargetOutcome + Sync,
+{
+    let slots: Vec<OnceLock<TargetOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else {
+                    break;
+                };
+                let out = process(job);
+                slots[i]
+                    .set(out)
+                    .unwrap_or_else(|_| unreachable!("each slot has exactly one owner"));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker populated slot"))
+        .collect()
+}

@@ -1,0 +1,424 @@
+//! The structured campaign event stream.
+//!
+//! The campaign engine does not mutate [`Report`] counters ad hoc:
+//! every observable fact of a campaign — a generation boundary, a
+//! scheduled/solved/degraded/faulted target, a probe run, an injected
+//! fault, the solver-cache totals — is emitted as a [`CampaignEvent`]
+//! on the merge thread, in deterministic merge order. The [`Report`] is
+//! *folded* from this stream (see [`fold_report`]), so by construction
+//! the stream always reconstructs the exact counters of the report the
+//! engine returns.
+//!
+//! Three sinks consume the stream:
+//!
+//! * the engine's own report fold (always on),
+//! * an optional JSON Lines trace file
+//!   ([`DriverConfig::event_trace`](crate::DriverConfig::event_trace),
+//!   written by [`JsonlSink`]), and
+//! * any caller-provided [`EventSink`] passed to
+//!   [`Driver::run_with_sink`](crate::Driver::run_with_sink) — the
+//!   campaign-bench binary records the stream with an [`EventLog`] and
+//!   cross-checks the folded counters against the returned report.
+
+use crate::chaos::FaultSite;
+use crate::config::Technique;
+use crate::report::{DegradationRecord, Report, RunRecord};
+use hotg_lang::BranchId;
+use std::io::Write;
+use std::path::Path;
+
+/// One observable fact of a running campaign, emitted by the engine on
+/// the merge thread in deterministic order (identical for every worker
+/// thread count, except that the final [`CampaignEvent::CacheStats`]
+/// totals may differ — see
+/// [`Report::cache_hits`](crate::Report::cache_hits)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignEvent {
+    /// The campaign started; carries the report identity fields.
+    CampaignStarted {
+        /// Technique driving the campaign.
+        technique: Technique,
+        /// Name of the program under test.
+        program: String,
+        /// Total branch sites of the program (for coverage ratios).
+        branch_sites: u32,
+    },
+    /// A native call site with statically-constant arguments was
+    /// pre-sampled into the initial `IOF` table.
+    SitePresampled,
+    /// A generation of the directed search begins.
+    GenerationStarted {
+        /// Zero-based generation number.
+        index: usize,
+        /// Number of deduplicated targets in this generation.
+        width: usize,
+    },
+    /// A branch-flip target survived dedup and was handed to a worker.
+    TargetScheduled {
+        /// Branch site being flipped.
+        target: BranchId,
+    },
+    /// Solver/validity queries were issued while processing a target.
+    SolverQueries {
+        /// Number of queries.
+        count: usize,
+    },
+    /// A target's query succeeded and produced a generated test (the
+    /// matching [`CampaignEvent::RunExecuted`] follows).
+    TargetSolved {
+        /// Branch site being flipped.
+        target: BranchId,
+    },
+    /// Targets were proved infeasible/invalid (no test generated).
+    TargetsRejected {
+        /// Number of rejections.
+        count: usize,
+    },
+    /// Solver/validity queries failed with an error.
+    SolverErrors {
+        /// Number of errored queries.
+        count: usize,
+    },
+    /// Escalated-budget retries of `Unknown` verdicts were run.
+    BudgetEscalations {
+        /// Number of retries.
+        count: usize,
+    },
+    /// Faults were injected by the configured
+    /// [`FaultPlan`](crate::FaultPlan).
+    FaultInjected {
+        /// Where the faults were injected.
+        site: FaultSite,
+        /// Number of injections at this site.
+        count: usize,
+    },
+    /// A target's worker panicked; the panic was isolated and the
+    /// target abandoned.
+    TargetFaulted {
+        /// Branch site of the abandoned target.
+        target: BranchId,
+    },
+    /// A target entered the degradation ladder; every attempted rung is
+    /// carried along.
+    TargetDegraded {
+        /// Branch site of the demoted target.
+        target: BranchId,
+        /// The ladder rungs attempted, in order.
+        rungs: Vec<DegradationRecord>,
+    },
+    /// Targets were dropped by the static oracle before any query.
+    TargetsPrunedStatic {
+        /// Number of dropped targets.
+        count: usize,
+    },
+    /// An intermediate probe run was executed to collect missing
+    /// samples (the matching [`CampaignEvent::RunExecuted`] follows).
+    ProbeRun {
+        /// Branch site the pending strategy is for.
+        target: BranchId,
+    },
+    /// A program execution completed (test or probe).
+    RunExecuted {
+        /// The full run record, as it appears in [`Report::runs`].
+        record: Box<RunRecord>,
+    },
+    /// Final solver-cache totals (SMT plus validity caches), emitted
+    /// once at the end of a directed campaign.
+    CacheStats {
+        /// Lookups answered from the cache.
+        hits: u64,
+        /// Lookups that ran the solver.
+        misses: u64,
+    },
+    /// The campaign stopped early because
+    /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
+    /// expired.
+    CampaignTimedOut,
+    /// The campaign finished; no further events follow.
+    CampaignFinished,
+}
+
+impl CampaignEvent {
+    /// The event's kind as a stable snake_case tag (used by the JSONL
+    /// trace).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignEvent::CampaignStarted { .. } => "campaign_started",
+            CampaignEvent::SitePresampled => "site_presampled",
+            CampaignEvent::GenerationStarted { .. } => "generation_started",
+            CampaignEvent::TargetScheduled { .. } => "target_scheduled",
+            CampaignEvent::SolverQueries { .. } => "solver_queries",
+            CampaignEvent::TargetSolved { .. } => "target_solved",
+            CampaignEvent::TargetsRejected { .. } => "targets_rejected",
+            CampaignEvent::SolverErrors { .. } => "solver_errors",
+            CampaignEvent::BudgetEscalations { .. } => "budget_escalations",
+            CampaignEvent::FaultInjected { .. } => "fault_injected",
+            CampaignEvent::TargetFaulted { .. } => "target_faulted",
+            CampaignEvent::TargetDegraded { .. } => "target_degraded",
+            CampaignEvent::TargetsPrunedStatic { .. } => "targets_pruned_static",
+            CampaignEvent::ProbeRun { .. } => "probe_run",
+            CampaignEvent::RunExecuted { .. } => "run_executed",
+            CampaignEvent::CacheStats { .. } => "cache_stats",
+            CampaignEvent::CampaignTimedOut => "campaign_timed_out",
+            CampaignEvent::CampaignFinished => "campaign_finished",
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self, seq: u64) -> String {
+        let mut s = format!("{{\"seq\":{seq},\"event\":\"{}\"", self.kind());
+        match self {
+            CampaignEvent::CampaignStarted {
+                technique,
+                program,
+                branch_sites,
+            } => {
+                s.push_str(&format!(
+                    ",\"technique\":\"{}\",\"program\":{},\"branch_sites\":{branch_sites}",
+                    technique.name(),
+                    json_str(program)
+                ));
+            }
+            CampaignEvent::GenerationStarted { index, width } => {
+                s.push_str(&format!(",\"index\":{index},\"width\":{width}"));
+            }
+            CampaignEvent::TargetScheduled { target }
+            | CampaignEvent::TargetSolved { target }
+            | CampaignEvent::TargetFaulted { target }
+            | CampaignEvent::ProbeRun { target } => {
+                s.push_str(&format!(",\"target\":{}", target.0));
+            }
+            CampaignEvent::SolverQueries { count }
+            | CampaignEvent::TargetsRejected { count }
+            | CampaignEvent::SolverErrors { count }
+            | CampaignEvent::BudgetEscalations { count }
+            | CampaignEvent::TargetsPrunedStatic { count } => {
+                s.push_str(&format!(",\"count\":{count}"));
+            }
+            CampaignEvent::FaultInjected { site, count } => {
+                s.push_str(&format!(",\"site\":\"{site:?}\",\"count\":{count}"));
+            }
+            CampaignEvent::TargetDegraded { target, rungs } => {
+                s.push_str(&format!(",\"target\":{},\"rungs\":[", target.0));
+                for (i, r) in rungs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"level\":\"{}\",\"reason\":\"{:?}\",\"recovered\":{}}}",
+                        r.level.label(),
+                        r.reason,
+                        r.recovered
+                    ));
+                }
+                s.push(']');
+            }
+            CampaignEvent::RunExecuted { record } => {
+                s.push_str(&format!(
+                    ",\"origin\":{},\"inputs\":{:?},\"outcome\":{},\"path_len\":{}",
+                    json_str(&format!("{:?}", record.origin)),
+                    record.inputs,
+                    json_str(&format!("{:?}", record.outcome)),
+                    record.path.len()
+                ));
+                if let Some(d) = record.diverged {
+                    s.push_str(&format!(",\"diverged\":{d}"));
+                }
+            }
+            CampaignEvent::CacheStats { hits, misses } => {
+                s.push_str(&format!(",\"hits\":{hits},\"misses\":{misses}"));
+            }
+            CampaignEvent::SitePresampled
+            | CampaignEvent::CampaignTimedOut
+            | CampaignEvent::CampaignFinished => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A consumer of the campaign event stream. Sinks observe events in
+/// deterministic merge order; they must not assume anything about
+/// worker scheduling.
+pub trait EventSink {
+    /// Consumes one event.
+    fn emit(&mut self, event: &CampaignEvent);
+}
+
+/// Sink that discards every event (the default for
+/// [`Driver::run`](crate::Driver::run)).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _event: &CampaignEvent) {}
+}
+
+/// Sink that records every event in memory, for tests and for
+/// consumers (like campaign-bench) that post-process the stream.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<CampaignEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[CampaignEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the recorded events.
+    pub fn into_events(self) -> Vec<CampaignEvent> {
+        self.events
+    }
+}
+
+impl EventSink for EventLog {
+    fn emit(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Sink that appends each event as one JSON line to a file
+/// ([`DriverConfig::event_trace`](crate::DriverConfig::event_trace)).
+/// Writes are best-effort: an I/O error mid-campaign drops the rest of
+/// the trace rather than failing the campaign.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    seq: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: Some(std::io::BufWriter::new(file)),
+            seq: 0,
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &CampaignEvent) {
+        let Some(w) = self.out.as_mut() else {
+            return;
+        };
+        let line = event.to_json(self.seq);
+        self.seq += 1;
+        if writeln!(w, "{line}").is_err() {
+            // Disable the trace on the first failed write; the campaign
+            // result does not depend on the trace.
+            self.out = None;
+        }
+    }
+}
+
+/// Folds a recorded event stream back into the [`Report`] it
+/// describes. For a stream recorded from a completed campaign the
+/// result carries the exact counters of the report the engine returned
+/// — the engine builds its own report with the same fold — except
+/// [`Report::elapsed`], which is wall-clock time measured outside the
+/// stream.
+pub fn fold_report<'a, I>(events: I) -> Report
+where
+    I: IntoIterator<Item = &'a CampaignEvent>,
+{
+    let mut report = Report::empty();
+    for event in events {
+        report.fold(event);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Driver, DriverConfig, Technique};
+    use hotg_lang::corpus;
+
+    /// The stream is framed: exactly one `CampaignStarted` first and one
+    /// `CampaignFinished` last, with one `RunExecuted` per report run.
+    #[test]
+    fn stream_framing_and_run_events() {
+        let (program, natives) = corpus::obscure();
+        let config = DriverConfig::with_initial(vec![33, 42]);
+        let driver = Driver::new(&program, &natives, config);
+        let mut log = EventLog::new();
+        let report = driver.run_with_sink(Technique::HigherOrder, &mut log);
+        let events = log.events();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::CampaignStarted { .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::CampaignFinished)
+        ));
+        let executed = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::RunExecuted { .. }))
+            .count();
+        assert_eq!(executed, report.total_runs());
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::CampaignStarted { .. }))
+            .count();
+        assert_eq!(starts, 1);
+    }
+
+    /// `DriverConfig::event_trace` writes one JSON line per emitted
+    /// event, sequenced, matching the in-memory stream.
+    #[test]
+    fn event_trace_writes_jsonl() {
+        let path =
+            std::env::temp_dir().join(format!("hotg-event-trace-{}.jsonl", std::process::id()));
+        let (program, natives) = corpus::foo();
+        let config = DriverConfig {
+            event_trace: Some(path.clone()),
+            ..DriverConfig::with_initial(vec![567, 42])
+        };
+        let driver = Driver::new(&program, &natives, config);
+        let mut log = EventLog::new();
+        driver.run_with_sink(Technique::HigherOrder, &mut log);
+        let trace = std::fs::read_to_string(&path).expect("trace file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), log.events().len());
+        for (i, (line, event)) in lines.iter().zip(log.events()).enumerate() {
+            assert_eq!(*line, event.to_json(i as u64), "line {i}");
+        }
+        assert!(lines[0].contains("\"event\":\"campaign_started\""));
+        assert!(lines[0].contains("\"program\":\"foo\""));
+        assert!(lines
+            .last()
+            .unwrap()
+            .contains("\"event\":\"campaign_finished\""));
+        assert!(trace.contains("\"event\":\"probe_run\""));
+    }
+}

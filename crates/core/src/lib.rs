@@ -38,12 +38,16 @@
 mod chaos;
 mod config;
 mod driver;
+mod engine;
+mod events;
 mod report;
+mod strategy;
 mod summaries;
 
 pub use chaos::{FaultCounters, FaultPlan, FaultSite};
 pub use config::{DriverConfig, Technique};
 pub use driver::Driver;
+pub use events::{fold_report, CampaignEvent, EventLog, EventSink, JsonlSink, NullSink};
 pub use report::{
     comparison_table, DegradationLevel, DegradationReason, DegradationRecord, Origin, Report,
     RunRecord,

@@ -1,0 +1,31 @@
+//! The blackbox random-testing baseline (§7).
+
+use super::{Strategy, TargetCx};
+use crate::config::Technique;
+use crate::engine::outcome::{Job, TargetOutcome};
+use hotg_concolic::{ExecProfile, SymbolicMode};
+
+/// Blackbox random testing: no symbolic evaluation, no targets, no
+/// solver. The engine runs the random campaign loop itself; this
+/// strategy only declares itself non-directed.
+pub(crate) struct Random;
+
+impl Strategy for Random {
+    fn technique(&self) -> Technique {
+        Technique::Random
+    }
+
+    fn profile(&self) -> ExecProfile {
+        // Never used: the random baseline executes concretely. The mode
+        // here is only a placeholder so the trait stays uniform.
+        ExecProfile::new(SymbolicMode::UnsoundConcretize)
+    }
+
+    fn is_directed(&self) -> bool {
+        false
+    }
+
+    fn process_target(&self, _cx: &TargetCx<'_, '_>, _job: &Job, _out: &mut TargetOutcome) {
+        unreachable!("random is not a directed search")
+    }
+}

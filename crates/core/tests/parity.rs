@@ -1,0 +1,237 @@
+//! Golden parity suite: the observable result of every campaign —
+//! every run record, counter, and degradation rung of the [`Report`] —
+//! is pinned by a content digest recorded in `tests/golden/reports.txt`.
+//!
+//! The matrix covers every corpus program × every technique ×
+//! thread counts {1, 4} × fault injection {off, seed 0, seed 3}. Because
+//! campaigns are deterministic per configuration, the digests are stable
+//! across runs, thread counts, and — the point of this suite —
+//! refactorings of the driver internals: the golden file was generated
+//! *before* the engine/strategy split and must keep matching after it.
+//!
+//! Excluded from the digest: `elapsed` (wall clock) and the cache
+//! hit/miss counters (the only fields documented to vary with worker
+//! scheduling).
+//!
+//! Regenerate with `HOTG_BLESS=1 cargo test -p hotg-core --test parity`.
+
+use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
+use hotg_lang::corpus;
+use std::fmt::Write as _;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Silences the expected, caught chaos panics (see the chaos suite).
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.contains("chaos:"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// FNV-1a over the canonical report rendering: independent of the
+/// standard library's hasher internals, so digests stay comparable
+/// across toolchains.
+fn fnv64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical, deterministic rendering of everything the campaign
+/// observed. Field order is fixed; nondeterministic fields (elapsed,
+/// cache hit/miss split) are omitted.
+fn canonical(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "technique={}", r.technique);
+    let _ = writeln!(s, "program={}", r.program);
+    for run in &r.runs {
+        let _ = writeln!(
+            s,
+            "run inputs={:?} outcome={:?} origin={:?} diverged={:?} path={:?}",
+            run.inputs, run.outcome, run.origin, run.diverged, run.path
+        );
+    }
+    let _ = writeln!(s, "errors={:?}", r.errors);
+    let _ = writeln!(s, "coverage={:?}", r.coverage);
+    let _ = writeln!(s, "divergences={}", r.divergences);
+    let _ = writeln!(s, "probes={}", r.probes);
+    let _ = writeln!(s, "solver_calls={}", r.solver_calls);
+    let _ = writeln!(s, "rejected_targets={}", r.rejected_targets);
+    let _ = writeln!(s, "targets_pruned_static={}", r.targets_pruned_static);
+    let _ = writeln!(s, "presampled_sites={}", r.presampled_sites);
+    let _ = writeln!(s, "branch_sites={}", r.branch_sites);
+    let _ = writeln!(s, "generation_widths={:?}", r.generation_widths);
+    let _ = writeln!(s, "solver_errors={}", r.solver_errors);
+    let _ = writeln!(s, "targets_degraded={}", r.targets_degraded);
+    let _ = writeln!(s, "targets_faulted={}", r.targets_faulted);
+    let _ = writeln!(s, "budget_escalations={}", r.budget_escalations);
+    let _ = writeln!(s, "fuel_exhausted_runs={}", r.fuel_exhausted_runs);
+    let _ = writeln!(s, "fault_kinds={:?}", r.fault_kinds);
+    let _ = writeln!(s, "degradations={:?}", r.degradations);
+    let _ = writeln!(s, "faults_injected={:?}", r.faults_injected);
+    let _ = writeln!(s, "campaign_timed_out={}", r.campaign_timed_out);
+    s
+}
+
+/// The fault-injection legs of the matrix: off, and two plan seeds.
+const CHAOS_SEEDS: [Option<u64>; 3] = [None, Some(0), Some(3)];
+
+fn combo_config(width: usize, threads: usize, chaos: Option<u64>) -> DriverConfig {
+    DriverConfig {
+        max_runs: 10,
+        threads,
+        fault_plan: chaos.map(|seed| FaultPlan::uniform(seed, 0.2)),
+        // Safety net only (as in the chaos suite): far too generous to
+        // fire on these small campaigns, so it never perturbs results.
+        target_deadline: chaos.map(|_| Duration::from_secs(10)),
+        ..DriverConfig::with_initial(vec![0; width])
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("reports.txt")
+}
+
+/// One digest line per matrix cell, in a fixed order.
+fn compute_digests() -> Vec<String> {
+    quiet_injected_panics();
+    let mut lines = Vec::new();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            for threads in [1usize, 4] {
+                for chaos in CHAOS_SEEDS {
+                    let config = combo_config(width, threads, chaos);
+                    let report = Driver::new(&program, &natives, config).run(technique);
+                    let digest = fnv64(&canonical(&report));
+                    let chaos_label = chaos.map_or("off".to_string(), |seed| format!("seed{seed}"));
+                    lines.push(format!(
+                        "{name}/{technique}/threads{threads}/chaos-{chaos_label} {digest:016x}"
+                    ));
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// The digest of a campaign's report must match the golden file recorded
+/// before the engine/strategy refactor — bit-identical observable
+/// behavior for every program × technique × thread count × fault plan.
+#[test]
+fn reports_match_golden_digests() {
+    let lines = compute_digests();
+    let path = golden_path();
+    if std::env::var_os("HOTG_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, lines.join("\n") + "\n").expect("write golden file");
+        eprintln!("blessed {} digests into {}", lines.len(), path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()));
+    let golden: Vec<&str> = golden.lines().collect();
+    let fresh: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut mismatches = Vec::new();
+    for (g, f) in golden.iter().zip(fresh.iter()) {
+        if g != f {
+            mismatches.push(format!("golden `{g}` != fresh `{f}`"));
+        }
+    }
+    if golden.len() != fresh.len() {
+        mismatches.push(format!(
+            "matrix size changed: golden {} lines, fresh {} lines",
+            golden.len(),
+            fresh.len()
+        ));
+    }
+    assert!(
+        mismatches.is_empty(),
+        "report digests drifted from the pre-refactor goldens:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The other half of the parity contract: the structured event stream
+/// folds back into the exact counters of the returned report, for every
+/// matrix cell. `canonical` covers every deterministic field; the cache
+/// split is compared separately (it is excluded from the digests but
+/// carried verbatim by the `CacheStats` event of the same campaign).
+#[test]
+fn event_stream_folds_to_report_counters() {
+    quiet_injected_panics();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            for threads in [1usize, 4] {
+                for chaos in CHAOS_SEEDS {
+                    let config = combo_config(width, threads, chaos);
+                    let driver = Driver::new(&program, &natives, config);
+                    let mut log = EventLog::new();
+                    let report = driver.run_with_sink(technique, &mut log);
+                    let folded = fold_report(log.events());
+                    let cell = format!("{name}/{technique}/threads{threads}/chaos-{chaos:?}");
+                    assert_eq!(
+                        canonical(&report),
+                        canonical(&folded),
+                        "{cell}: folded event stream diverges from the report"
+                    );
+                    assert_eq!(
+                        (report.cache_hits, report.cache_misses),
+                        (folded.cache_hits, folded.cache_misses),
+                        "{cell}: cache stats must flow through the event stream"
+                    );
+                    assert!(
+                        report.elapsed.as_nanos() > 0,
+                        "{cell}: elapsed is measured outside the stream"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Thread-count invariance, asserted directly on the digest lines: for
+/// every program × technique × chaos leg, the `threads1` and `threads4`
+/// digests are equal.
+#[test]
+fn digests_are_thread_count_invariant() {
+    let lines = compute_digests();
+    let mut by_key: std::collections::BTreeMap<String, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
+    for line in &lines {
+        let (cell, digest) = line.split_once(' ').expect("digest line");
+        let key = cell
+            .replace("/threads1/", "/t/")
+            .replace("/threads4/", "/t/");
+        by_key
+            .entry(key)
+            .or_default()
+            .push((cell.to_string(), digest.to_string()));
+    }
+    for (key, cells) in by_key {
+        assert_eq!(cells.len(), 2, "{key}: expected both thread counts");
+        assert_eq!(
+            cells[0].1, cells[1].1,
+            "{key}: digests differ across thread counts"
+        );
+    }
+}

@@ -94,7 +94,7 @@ pub fn full_comparison(variant: LexerVariant, max_runs: usize) -> (Vec<LexerOutc
     ));
     table.push_str("\nkeyword depth reached: ");
     for o in &outcomes {
-        table.push_str(&format!("{}={} ", o.report.technique.label(), o.depth));
+        table.push_str(&format!("{}={} ", o.report.technique.name(), o.depth));
     }
     table.push('\n');
     (outcomes, table)

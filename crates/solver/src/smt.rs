@@ -256,7 +256,12 @@ impl SmtSolver {
         }
     }
 
-    /// Hit/miss counters of the query cache.
+    /// Hit/miss counters of the query cache. The campaign engine reads
+    /// these once at campaign end and publishes them as a single
+    /// `CacheStats` event (merged with the validity checker's counters),
+    /// which is why they are the one piece of report accounting allowed
+    /// to vary with worker scheduling: whichever thread first poses a
+    /// query charges the miss.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }

@@ -19,7 +19,7 @@ fn main() {
         let out = campaign(LexerVariant::Fixed, technique, 60);
         println!(
             "{:<14} depth {}   ({} runs, {} probes, errors {:?})",
-            technique.label(),
+            technique.name(),
             out.depth,
             out.report.total_runs(),
             out.report.probes,
