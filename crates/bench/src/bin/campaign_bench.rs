@@ -29,13 +29,27 @@
 use hotg_bench::paper_examples;
 use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
 use hotg_lang::corpus;
+use hotg_logic::{Formula, LogicArena};
+use hotg_solver::{SmtConfig, SmtSession, SmtSolver};
 use std::fmt::Write as _;
 use std::str::FromStr;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Programs exercised in `--reduced` mode: the paper's headline examples
 /// plus one EUF program, enough to exercise every driver path cheaply.
 const REDUCED_PROGRAMS: [&str; 4] = ["obscure", "foo", "bar", "euf_eq"];
+
+/// Programs whose campaign query streams feed the solver-throughput
+/// replay: `fanout` produces wide generations of sibling flip queries,
+/// `budget_cliff` stresses the per-node solver budgets.
+const SOLVER_BENCH_PROGRAMS: [&str; 2] = ["fanout", "budget_cliff"];
+
+/// Replay volume floor: the recorded stream is replayed in whole-stream
+/// rounds until at least this many queries ran, so both legs time enough
+/// work to be stable on CI hosts — and so the session leg's cross-round
+/// cache reuse (a generation re-posing equivalent queries) is exercised.
+const SOLVER_BENCH_MIN_QUERIES: usize = 150;
 
 struct Args {
     reduced: bool,
@@ -284,6 +298,130 @@ fn chaos_row_json(program: &str, seed: u64, r: &Report, wall_ms: f64) -> String 
     )
 }
 
+/// One program's solver-throughput replay measurement.
+struct SolverBenchRow {
+    program: &'static str,
+    /// Queries recorded from the capture campaign.
+    recorded: usize,
+    /// Whole-stream replay rounds.
+    rounds: usize,
+    /// Total replayed queries per leg (`recorded * rounds`).
+    queries: usize,
+    baseline_qps: f64,
+    session_qps: f64,
+    speedup: f64,
+    intern_hits: u64,
+    clauses_reused: u64,
+    cache_hits: u64,
+    pass: bool,
+}
+
+/// Captures the solver-query stream of one DART-sound campaign on the
+/// named corpus program (fixed 40-run budget, single-threaded), via the
+/// driver's [`DriverConfig::query_log`] tap.
+fn capture_query_stream(name: &str) -> Vec<Formula> {
+    let (_, ctor) = corpus::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("corpus program `{name}` missing"));
+    let (program, natives) = ctor();
+    let width = program.input_width();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let cfg = DriverConfig {
+        query_log: Some(Arc::clone(&log)),
+        ..config(width, 40, 1)
+    };
+    let driver = Driver::new(&program, &natives, cfg);
+    let _ = driver.run(Technique::DartSound);
+    let stream = log.lock().expect("query log").clone();
+    stream
+}
+
+/// Replays a captured query stream through both legs: a fresh solver
+/// per query (per-query encode-and-search cost with no reuse of any
+/// kind — what every cache-missing query cost before the session
+/// machinery existed) versus one arena-backed solver with a single
+/// incremental [`SmtSession`] carrying the query cache, the memoized
+/// normalization arena, and CDCL-learned clauses across the stream.
+fn solver_replay(program: &'static str, stream: &[Formula]) -> SolverBenchRow {
+    let recorded = stream.len();
+    let rounds = if recorded == 0 {
+        0
+    } else {
+        SOLVER_BENCH_MIN_QUERIES.div_ceil(recorded)
+    };
+    let queries = recorded * rounds;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in stream {
+            let _ = SmtSolver::new().check(q);
+        }
+    }
+    let baseline_s = start.elapsed().as_secs_f64();
+    let solver = SmtSolver::with_config(SmtConfig {
+        incremental: true,
+        ..SmtConfig::new()
+    })
+    .with_arena(Arc::new(LogicArena::new()));
+    let session = SmtSession::for_solver(&solver);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in stream {
+            let _ = session.check_with(&solver, q);
+        }
+    }
+    let session_s = start.elapsed().as_secs_f64();
+    let stats = session.stats();
+    let baseline_qps = if baseline_s > 0.0 {
+        queries as f64 / baseline_s
+    } else {
+        0.0
+    };
+    let session_qps = if session_s > 0.0 {
+        queries as f64 / session_s
+    } else {
+        0.0
+    };
+    let speedup = if baseline_qps > 0.0 {
+        session_qps / baseline_qps
+    } else {
+        0.0
+    };
+    SolverBenchRow {
+        program,
+        recorded,
+        rounds,
+        queries,
+        baseline_qps,
+        session_qps,
+        speedup,
+        intern_hits: stats.intern_hits,
+        clauses_reused: stats.clauses_reused,
+        cache_hits: stats.hits,
+        pass: queries > 0 && speedup >= 3.0,
+    }
+}
+
+fn solver_row_json(r: &SolverBenchRow) -> String {
+    format!(
+        "{{\"program\": {}, \"recorded_queries\": {}, \"rounds\": {}, \
+         \"queries\": {}, \"baseline_qps\": {:.1}, \"session_qps\": {:.1}, \
+         \"speedup\": {:.3}, \"intern_hits\": {}, \"clauses_reused\": {}, \
+         \"cache_hits\": {}, \"pass\": {}}}",
+        json_str(r.program),
+        r.recorded,
+        r.rounds,
+        r.queries,
+        r.baseline_qps,
+        r.session_qps,
+        r.speedup,
+        r.intern_hits,
+        r.clauses_reused,
+        r.cache_hits,
+        r.pass,
+    )
+}
+
 /// Silence the default panic-hook chatter for the chaos legs: injected
 /// worker panics are expected and caught by the driver, so their
 /// payloads (tagged `chaos:`) should not spam stderr.
@@ -438,11 +576,43 @@ fn main() {
         par_technique.name()
     );
 
+    // Solver-throughput replay (independent of --reduced, like the paper
+    // claims): the real DART-sound query stream of each bench program,
+    // replayed as fresh-solver-per-query vs one incremental session.
+    let solver_rows: Vec<SolverBenchRow> = SOLVER_BENCH_PROGRAMS
+        .iter()
+        .map(|name| {
+            let stream = capture_query_stream(name);
+            let row = solver_replay(name, &stream);
+            eprintln!(
+                "solver {:<14} {} queries ({} recorded × {} rounds): \
+                 {:.0} q/s baseline, {:.0} q/s session, speedup {:.2}x \
+                 ({} intern hits, {} clauses reused){}",
+                row.program,
+                row.queries,
+                row.recorded,
+                row.rounds,
+                row.baseline_qps,
+                row.session_qps,
+                row.speedup,
+                row.intern_hits,
+                row.clauses_reused,
+                if row.pass { "" } else { "  FAILED (< 3x)" },
+            );
+            row
+        })
+        .collect();
+    let solver_pass = solver_rows.iter().all(|r| r.pass);
+    let solver_json: Vec<String> = solver_rows.iter().map(solver_row_json).collect();
+
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/3\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/4\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"fold_drift\": {},\n  \
          \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
+         \"solver\": {{\"technique\": {}, \
+         \"baseline\": \"fresh-solver-per-query\", \"pass\": {}, \
+         \"rows\": [\n    {}\n  ]}},\n  \
          \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
@@ -454,6 +624,9 @@ fn main() {
         claims.join(",\n    "),
         failed_claims,
         chaos_rows.join(",\n    "),
+        json_str(Technique::DartSound.name()),
+        solver_pass,
+        solver_json.join(",\n    "),
         json_str(par_technique.name()),
         threads,
         host_threads,
@@ -473,6 +646,13 @@ fn main() {
     let mut failed = false;
     if failed_claims > 0 {
         eprintln!("campaign-bench: {failed_claims} paper-claim row(s) FAILED");
+        failed = true;
+    }
+    if !solver_pass {
+        eprintln!(
+            "campaign-bench: solver-throughput replay below the 3x \
+             session-reuse floor"
+        );
         failed = true;
     }
     if !fold_drift.is_empty() {

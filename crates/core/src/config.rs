@@ -2,8 +2,10 @@
 
 use crate::chaos::FaultPlan;
 use hotg_concolic::SymbolicMode;
+use hotg_logic::Formula;
 use hotg_solver::ValidityConfig;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The four test-generation techniques compared throughout the paper.
@@ -179,6 +181,14 @@ pub struct DriverConfig {
     /// is reported on stderr and the campaign proceeds without the
     /// trace. `None` (the default) disables the trace.
     pub event_trace: Option<PathBuf>,
+    /// Optional solver-query tap: every satisfiability query the
+    /// campaign poses through its per-generation solver sessions is
+    /// appended here, pre-normalization and in query order. Escalated
+    /// (detached) retries and validity queries are not recorded. The
+    /// benchmark harness uses the captured stream for offline
+    /// throughput replay; `None` (the default) records nothing and the
+    /// tap never affects campaign behaviour.
+    pub query_log: Option<Arc<Mutex<Vec<Formula>>>>,
 }
 
 impl Default for DriverConfig {
@@ -203,6 +213,7 @@ impl Default for DriverConfig {
             degradation_ladder: true,
             fault_plan: None,
             event_trace: None,
+            query_log: None,
         }
     }
 }
@@ -278,6 +289,7 @@ mod tests {
         assert!(c.degradation_ladder);
         assert!(c.fault_plan.is_none());
         assert!(c.event_trace.is_none());
+        assert!(c.query_log.is_none());
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
     }

@@ -30,6 +30,8 @@ use crate::strategy;
 use hotg_analysis::{analyze, AnalysisResult};
 use hotg_concolic::ConcolicContext;
 use hotg_lang::{NativeRegistry, Program};
+use hotg_logic::LogicArena;
+use std::sync::Arc;
 
 /// A test-generation campaign on one program.
 #[derive(Debug)]
@@ -39,6 +41,11 @@ pub struct Driver<'p> {
     ctx: ConcolicContext,
     analysis: AnalysisResult,
     config: DriverConfig,
+    /// The campaign's term/formula arena. **Per-driver, never global**:
+    /// every solver instance of this driver's campaigns interns through
+    /// it, and two concurrent drivers in one process get disjoint id
+    /// spaces and share no interned allocations.
+    arena: Arc<LogicArena>,
 }
 
 impl<'p> Driver<'p> {
@@ -54,6 +61,7 @@ impl<'p> Driver<'p> {
             ctx: ConcolicContext::new(program),
             analysis: analyze(program),
             config,
+            arena: Arc::new(LogicArena::new()),
         }
     }
 
@@ -65,6 +73,11 @@ impl<'p> Driver<'p> {
     /// The static analysis results used as the search oracle.
     pub fn analysis(&self) -> &AnalysisResult {
         &self.analysis
+    }
+
+    /// The driver-owned term/formula arena.
+    pub fn arena(&self) -> &Arc<LogicArena> {
+        &self.arena
     }
 
     /// Runs a campaign with the given technique and returns its report.
@@ -87,6 +100,7 @@ impl<'p> Driver<'p> {
             ctx: &self.ctx,
             analysis: &self.analysis,
             config: &self.config,
+            arena: &self.arena,
         };
         let mut report = engine.run(strategy::for_technique(technique), sink);
         report.elapsed = start.elapsed();

@@ -43,13 +43,17 @@ use crate::strategy::{Strategy, TargetCx};
 use hotg_analysis::AnalysisResult;
 use hotg_concolic::{diverged, execute_profiled, ConcolicContext, ExecProfile};
 use hotg_lang::{BranchId, InputVector, NativeRegistry, Program};
+use hotg_logic::LogicArena;
 use hotg_logic::{Formula, Var};
-use hotg_solver::{Deadline, Samples, SmtResult, SmtSolver, ValidityChecker, ValidityOutcome};
+use hotg_solver::{
+    Deadline, Samples, SmtResult, SmtSession, SmtSolver, ValidityChecker, ValidityOutcome,
+};
 use outcome::{path_key, scale_budget, Target, TargetOutcome, WorkerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// The shared campaign engine: borrows the program, the symbolic
 /// context, the static-analysis oracle, and the configuration from the
@@ -60,6 +64,9 @@ pub(crate) struct Engine<'a> {
     pub(crate) ctx: &'a ConcolicContext,
     pub(crate) analysis: &'a AnalysisResult,
     pub(crate) config: &'a DriverConfig,
+    /// The campaign's term/formula arena (owned by the driver, never
+    /// global): all solver instances of this campaign intern through it.
+    pub(crate) arena: &'a Arc<LogicArena>,
 }
 
 /// The engine's event funnel: every event is folded into the report
@@ -385,6 +392,7 @@ impl<'a> Engine<'a> {
         snapshot: &Samples,
         summaries: Option<&crate::summaries::SummaryTable>,
         smt: &SmtSolver,
+        session: &SmtSession,
         validity: &ValidityChecker,
         campaign_end: Deadline,
     ) -> TargetOutcome {
@@ -424,6 +432,7 @@ impl<'a> Engine<'a> {
                 snapshot,
                 summaries,
                 smt,
+                session,
                 validity,
                 tkey,
             };

@@ -12,11 +12,11 @@ use crate::events::CampaignEvent;
 use crate::report::Origin;
 use crate::strategy::Strategy;
 use crate::summaries::{SummaryConfig, SummaryTable};
-use hotg_solver::{SmtSolver, ValidityChecker};
+use hotg_solver::{SmtSession, SmtSolver, ValidityChecker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 impl Engine<'_> {
     /// The generational directed search shared by every whitebox
@@ -36,9 +36,21 @@ impl Engine<'_> {
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut st = SearchState::default();
-        let smt = SmtSolver::with_config(self.config.validity.smt);
-        let validity = ValidityChecker::with_config(self.config.validity);
+        // Both solvers intern through the driver-owned campaign arena, so
+        // normalization/fingerprint work is shared between them (and with
+        // escalated/deadline-reconfigured clones).
+        let smt =
+            SmtSolver::with_config(self.config.validity.smt).with_arena(Arc::clone(self.arena));
+        let smt = match &self.config.query_log {
+            Some(log) => smt.with_recorder(Arc::clone(log)),
+            None => smt,
+        };
+        let validity =
+            ValidityChecker::with_config(self.config.validity).with_arena(Arc::clone(self.arena));
         let campaign_end = self.campaign_end();
+        // Session reuse totals across the campaign's generations.
+        let mut session_queries = 0u64;
+        let mut session_clauses_reused = 0u64;
 
         // UF-placement oracle: native call sites whose arguments are
         // statically constant always evaluate the same application, so
@@ -89,14 +101,22 @@ impl Engine<'_> {
             // targets are checked against (per-target probe runs extend a
             // thread-local copy).
             let snapshot = st.samples.clone();
+            // One solver session per generation: sibling targets share
+            // the query cache and arena always, and — when incremental
+            // solving is configured — one persistent boolean core with
+            // its learned clauses.
+            let session = SmtSession::for_solver(&smt);
+            let mut stop = false;
             if threads == 1 || jobs.len() == 1 {
                 for job in &jobs {
                     if em.report.runs.len() >= self.config.max_runs {
-                        break 'search;
+                        stop = true;
+                        break;
                     }
                     if campaign_end.expired() {
                         em.emit(CampaignEvent::CampaignTimedOut);
-                        break 'search;
+                        stop = true;
+                        break;
                     }
                     let out = self.process_target(
                         strategy,
@@ -104,6 +124,7 @@ impl Engine<'_> {
                         &snapshot,
                         summaries.as_ref(),
                         &smt,
+                        &session,
                         &validity,
                         campaign_end,
                     );
@@ -117,26 +138,39 @@ impl Engine<'_> {
                         &snapshot,
                         summaries.as_ref(),
                         &smt,
+                        &session,
                         &validity,
                         campaign_end,
                     )
                 });
                 for (job, out) in jobs.iter().zip(outcomes) {
                     if em.report.runs.len() >= self.config.max_runs {
-                        break 'search;
+                        stop = true;
+                        break;
                     }
                     if campaign_end.expired() {
                         em.emit(CampaignEvent::CampaignTimedOut);
-                        break 'search;
+                        stop = true;
+                        break;
                     }
                     self.merge_outcome(job, out, em, &mut st);
                 }
+            }
+            session_queries += session.queries();
+            session_clauses_reused += session.clauses_reused();
+            if stop {
+                break 'search;
             }
         }
         let stats = smt.cache_stats().merged(validity.cache_stats());
         em.emit(CampaignEvent::CacheStats {
             hits: stats.hits,
             misses: stats.misses,
+        });
+        em.emit(CampaignEvent::SolverSessionStats {
+            queries: session_queries,
+            intern_hits: self.arena.stats().intern_hits,
+            clauses_reused: session_clauses_reused,
         });
     }
 

@@ -130,6 +130,20 @@ pub enum CampaignEvent {
         /// Lookups that ran the solver.
         misses: u64,
     },
+    /// Solver-session throughput totals, emitted once at the end of a
+    /// directed campaign alongside [`CampaignEvent::CacheStats`].
+    /// Announcement-only: not folded into the report (the counters are
+    /// reuse telemetry, not campaign results, and may legitimately vary
+    /// with thread count).
+    SolverSessionStats {
+        /// Queries routed through per-generation solver sessions.
+        queries: u64,
+        /// Term-arena intern lookups answered by an existing node.
+        intern_hits: u64,
+        /// Learned clauses carried across queries by incremental
+        /// sessions (zero when incremental solving is off).
+        clauses_reused: u64,
+    },
     /// The campaign stopped early because
     /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
     /// expired.
@@ -159,6 +173,7 @@ impl CampaignEvent {
             CampaignEvent::ProbeRun { .. } => "probe_run",
             CampaignEvent::RunExecuted { .. } => "run_executed",
             CampaignEvent::CacheStats { .. } => "cache_stats",
+            CampaignEvent::SolverSessionStats { .. } => "solver_session_stats",
             CampaignEvent::CampaignTimedOut => "campaign_timed_out",
             CampaignEvent::CampaignFinished => "campaign_finished",
         }
@@ -227,6 +242,16 @@ impl CampaignEvent {
             }
             CampaignEvent::CacheStats { hits, misses } => {
                 s.push_str(&format!(",\"hits\":{hits},\"misses\":{misses}"));
+            }
+            CampaignEvent::SolverSessionStats {
+                queries,
+                intern_hits,
+                clauses_reused,
+            } => {
+                s.push_str(&format!(
+                    ",\"queries\":{queries},\"intern_hits\":{intern_hits},\
+                     \"clauses_reused\":{clauses_reused}"
+                ));
             }
             CampaignEvent::SitePresampled
             | CampaignEvent::CampaignTimedOut

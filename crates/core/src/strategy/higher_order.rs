@@ -97,7 +97,14 @@ fn higher_order_target(
             Ok(o) => o,
             Err(()) => {
                 out.solver_errors += 1;
-                eng.concede_target(job, strategy, cx.smt, DegradationReason::SolverError, out);
+                eng.concede_target(
+                    job,
+                    strategy,
+                    cx.session,
+                    cx.smt,
+                    DegradationReason::SolverError,
+                    out,
+                );
                 return;
             }
         };
@@ -162,6 +169,7 @@ fn higher_order_target(
                     _ => eng.concede_target(
                         job,
                         strategy,
+                        cx.session,
                         cx.smt,
                         DegradationReason::SolverUnknown,
                         out,

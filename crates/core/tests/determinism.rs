@@ -135,3 +135,67 @@ proptest! {
         }
     }
 }
+
+/// The `DriverConfig::query_log` tap captures the campaign's session
+/// query stream without affecting results, and the stream itself is
+/// deterministic: two identical campaigns record identical formulas in
+/// identical order.
+#[test]
+fn query_log_is_deterministic_and_inert() {
+    use hotg_logic::Formula;
+    use std::sync::{Arc, Mutex};
+    let (program, natives) = corpus::fanout();
+    let width = program.input_width();
+    let capture = |log: &Arc<Mutex<Vec<Formula>>>| {
+        let cfg = DriverConfig {
+            query_log: Some(Arc::clone(log)),
+            ..config(width, 1, 0x5eed)
+        };
+        Driver::new(&program, &natives, cfg).run(Technique::DartSound)
+    };
+    let (log_a, log_b) = (
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    );
+    let report_a = capture(&log_a);
+    let report_b = capture(&log_b);
+    let plain = Driver::new(&program, &natives, config(width, 1, 0x5eed)).run(Technique::DartSound);
+    assert_reports_identical(&report_a, &plain, "tapped vs untapped campaign");
+    let (a, b) = (log_a.lock().unwrap(), log_b.lock().unwrap());
+    assert!(!a.is_empty(), "a directed campaign poses session queries");
+    assert_eq!(*a, *b, "identical campaigns record identical streams");
+    assert_reports_identical(&report_a, &report_b, "tapped campaigns");
+}
+
+/// Interner/arena state is per-campaign — owned by the driver, never a
+/// process-wide global. Two drivers must have disjoint id spaces: one
+/// campaign's interning is invisible to the other driver, and interning
+/// the same formula into both arenas yields distinct allocations.
+#[test]
+fn drivers_own_disjoint_arenas() {
+    let (program, natives) = corpus::obscure();
+    let a = Driver::new(&program, &natives, config(2, 1, 7));
+    let b = Driver::new(&program, &natives, config(2, 1, 7));
+    a.run(Technique::HigherOrder);
+    assert_eq!(
+        b.arena().stats().interned,
+        0,
+        "a's campaign must not touch b's arena"
+    );
+    b.run(Technique::HigherOrder);
+    let sa = a.arena().stats();
+    let sb = b.arena().stats();
+    assert!(sa.interned > 0, "a directed campaign interns its queries");
+    assert_eq!(
+        sa.interned, sb.interned,
+        "identical campaigns intern identical node sets"
+    );
+    use hotg_logic::{Atom, Formula, InternedFormula, Rel, Term};
+    let f = Formula::atom(Atom::new(Term::int(1), Rel::Gt, Term::int(0)));
+    let ia = a.arena().intern(&f);
+    let ib = b.arena().intern(&f);
+    assert!(
+        !InternedFormula::ptr_eq(&ia, &ib),
+        "same formula, different drivers: distinct allocations"
+    );
+}

@@ -1,0 +1,373 @@
+//! Hash-consing arena for terms and formulas.
+//!
+//! A campaign normalizes, fingerprints, and re-keys the same path
+//! constraints over and over: every solver query re-runs
+//! `nnf().normalize()` and `fingerprint()` even when the query is a cache
+//! hit, and sibling queries within a generation share almost all of their
+//! structure. [`LogicArena`] interns terms and formulas so that
+//!
+//! * structurally equal nodes are the *same* allocation — equality between
+//!   interned handles is pointer/id comparison, not a tree walk;
+//! * `fingerprint()` and the solver's `nnf().normalize()` pre-pass are
+//!   memoized per unique formula — recomputed once per campaign instead of
+//!   once per query.
+//!
+//! Ownership: an arena is **per campaign** (owned by the driver), never a
+//! process-wide global. Two concurrent campaigns in one process get
+//! disjoint id spaces and share no allocations, so interned ids can be
+//! used freely in campaign-local tables without cross-campaign leakage.
+//!
+//! Determinism: interning and memoization are *behavior-free* — the memo
+//! stores exactly the value `nnf().normalize()` (and `fingerprint()`)
+//! would recompute, so routing queries through the arena changes no
+//! solver verdict, model, or report bit; only intern-hit counters, which
+//! are surfaced separately from campaign reports.
+
+use crate::formula::Formula;
+use crate::term::Term;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Intern-table counters of a [`LogicArena`] (monotone, campaign-lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Unique nodes (terms + formulas) held by the arena.
+    pub interned: u64,
+    /// Intern lookups answered by an existing node.
+    pub intern_hits: u64,
+}
+
+impl ArenaStats {
+    /// Component-wise sum of two counters.
+    pub fn merged(self, other: ArenaStats) -> ArenaStats {
+        ArenaStats {
+            interned: self.interned + other.interned,
+            intern_hits: self.intern_hits + other.intern_hits,
+        }
+    }
+}
+
+/// One interned formula: identity plus memo slots.
+#[derive(Debug)]
+struct FormulaNode {
+    id: u64,
+    fingerprint: u64,
+    formula: Formula,
+    /// Memoized `nnf().normalize()` of `formula`, paired with the
+    /// normalized form's own fingerprint (what solver cache keys need).
+    normal: OnceLock<(Arc<Formula>, u64)>,
+    /// Memoized plain `normalize()` (no NNF), paired with its fingerprint.
+    /// The validity layer keys its memo on this form, which is *not* the
+    /// same formula as `normal` when negations are present.
+    flat: OnceLock<(Arc<Formula>, u64)>,
+}
+
+/// One interned term: identity only (terms have no normal form to memoize).
+#[derive(Debug)]
+struct TermNode {
+    id: u64,
+    term: Term,
+}
+
+/// A shared handle to an interned formula.
+///
+/// Handles interned from the *same arena* compare by pointer: two handles
+/// are equal iff they intern structurally equal formulas. Handles from
+/// different arenas are never pointer-equal (each campaign's id space is
+/// disjoint).
+#[derive(Clone, Debug)]
+pub struct InternedFormula(Arc<FormulaNode>);
+
+impl InternedFormula {
+    /// Arena-local id (dense, allocation order).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Memoized structural fingerprint — always equal to
+    /// `self.formula().fingerprint()`, computed once at intern time.
+    pub fn fingerprint(&self) -> u64 {
+        self.0.fingerprint
+    }
+
+    /// The interned formula.
+    pub fn formula(&self) -> &Formula {
+        &self.0.formula
+    }
+
+    /// Pointer identity (the arena's equality).
+    pub fn ptr_eq(a: &InternedFormula, b: &InternedFormula) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl PartialEq for InternedFormula {
+    fn eq(&self, other: &InternedFormula) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for InternedFormula {}
+
+/// A shared handle to an interned term; same identity rules as
+/// [`InternedFormula`].
+#[derive(Clone, Debug)]
+pub struct InternedTerm(Arc<TermNode>);
+
+impl InternedTerm {
+    /// Arena-local id (dense, allocation order; terms and formulas share
+    /// one id space).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// The interned term.
+    pub fn term(&self) -> &Term {
+        &self.0.term
+    }
+
+    /// Pointer identity (the arena's equality).
+    pub fn ptr_eq(a: &InternedTerm, b: &InternedTerm) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl PartialEq for InternedTerm {
+    fn eq(&self, other: &InternedTerm) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for InternedTerm {}
+
+/// Interior tables, behind one mutex (interning is a short critical
+/// section; memoized normalization happens outside the lock via
+/// [`OnceLock`]).
+#[derive(Debug, Default)]
+struct ArenaInner {
+    /// fingerprint → interned formulas with that fingerprint. Buckets are
+    /// scanned with full structural equality, so a fingerprint collision
+    /// costs a scan, never a wrong identity.
+    formulas: HashMap<u64, Vec<Arc<FormulaNode>>>,
+    /// fingerprint → interned terms with that fingerprint.
+    terms: HashMap<u64, Vec<Arc<TermNode>>>,
+    next_id: u64,
+}
+
+/// A per-campaign hash-consing arena (see module docs).
+#[derive(Debug, Default)]
+pub struct LogicArena {
+    inner: Mutex<ArenaInner>,
+    intern_hits: AtomicU64,
+}
+
+impl LogicArena {
+    /// An empty arena with a fresh id space.
+    pub fn new() -> LogicArena {
+        LogicArena::default()
+    }
+
+    /// Interns a formula: returns the existing handle if a structurally
+    /// equal formula was interned before, otherwise allocates a new node.
+    pub fn intern(&self, f: &Formula) -> InternedFormula {
+        let fp = f.fingerprint();
+        let mut inner = self.inner.lock().expect("arena lock");
+        if let Some(bucket) = inner.formulas.get(&fp) {
+            if let Some(node) = bucket.iter().find(|n| n.formula == *f) {
+                let node = Arc::clone(node);
+                drop(inner);
+                self.intern_hits.fetch_add(1, Ordering::Relaxed);
+                return InternedFormula(node);
+            }
+        }
+        let node = Arc::new(FormulaNode {
+            id: inner.next_id,
+            fingerprint: fp,
+            formula: f.clone(),
+            normal: OnceLock::new(),
+            flat: OnceLock::new(),
+        });
+        inner.next_id += 1;
+        inner
+            .formulas
+            .entry(fp)
+            .or_default()
+            .push(Arc::clone(&node));
+        InternedFormula(node)
+    }
+
+    /// Interns a term (same identity rules as [`LogicArena::intern`]).
+    pub fn intern_term(&self, t: &Term) -> InternedTerm {
+        let mut h = crate::hash::StableHasher::new();
+        std::hash::Hash::hash(t, &mut h);
+        let fp = std::hash::Hasher::finish(&h);
+        let mut inner = self.inner.lock().expect("arena lock");
+        if let Some(bucket) = inner.terms.get(&fp) {
+            if let Some(node) = bucket.iter().find(|n| n.term == *t) {
+                let node = Arc::clone(node);
+                drop(inner);
+                self.intern_hits.fetch_add(1, Ordering::Relaxed);
+                return InternedTerm(node);
+            }
+        }
+        let node = Arc::new(TermNode {
+            id: inner.next_id,
+            term: t.clone(),
+        });
+        inner.next_id += 1;
+        inner.terms.entry(fp).or_default().push(Arc::clone(&node));
+        InternedTerm(node)
+    }
+
+    /// The solver's query pre-pass, memoized: `f.nnf().normalize()` and
+    /// the normalized form's fingerprint, computed once per unique
+    /// formula. The returned values are bit-identical to what the
+    /// unmemoized pre-pass would produce.
+    pub fn normal(&self, f: &Formula) -> (Arc<Formula>, u64) {
+        let node = self.intern(f);
+        let (norm, fp) = node.0.normal.get_or_init(|| {
+            let n = f.nnf().normalize();
+            let nfp = n.fingerprint();
+            (Arc::new(n), nfp)
+        });
+        (Arc::clone(norm), *fp)
+    }
+
+    /// Memoized `nnf().normalize()` of an already-interned formula.
+    pub fn normal_of(&self, f: &InternedFormula) -> (Arc<Formula>, u64) {
+        let (norm, fp) = f.0.normal.get_or_init(|| {
+            let n = f.formula().nnf().normalize();
+            let nfp = n.fingerprint();
+            (Arc::new(n), nfp)
+        });
+        (Arc::clone(norm), *fp)
+    }
+
+    /// Memoized plain `f.normalize()` (no NNF) and its fingerprint. The
+    /// validity checker keys its outcome memo on this form; like
+    /// [`LogicArena::normal`], the memo is bit-identical to the
+    /// unmemoized computation.
+    pub fn normalized(&self, f: &Formula) -> (Arc<Formula>, u64) {
+        let node = self.intern(f);
+        let (norm, fp) = node.0.flat.get_or_init(|| {
+            let n = f.normalize();
+            let nfp = n.fingerprint();
+            (Arc::new(n), nfp)
+        });
+        (Arc::clone(norm), *fp)
+    }
+
+    /// Current intern-table counters.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.inner.lock().expect("arena lock");
+        ArenaStats {
+            interned: inner.next_id,
+            intern_hits: self.intern_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Rel};
+    use crate::sort::Sort;
+    use crate::sym::Signature;
+
+    fn setup() -> (Signature, crate::sym::Var, crate::sym::Var) {
+        let mut sig = Signature::new();
+        let x = sig.declare_var("x", Sort::Int);
+        let y = sig.declare_var("y", Sort::Int);
+        (sig, x, y)
+    }
+
+    fn gt0(v: crate::sym::Var) -> Formula {
+        Formula::atom(Atom::new(Term::var(v), Rel::Gt, Term::int(0)))
+    }
+
+    #[test]
+    fn interning_is_pointer_identity() {
+        let (_, x, y) = setup();
+        let arena = LogicArena::new();
+        let a = arena.intern(&gt0(x));
+        let b = arena.intern(&gt0(x));
+        let c = arena.intern(&gt0(y));
+        assert!(InternedFormula::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert!(!InternedFormula::ptr_eq(&a, &c));
+        assert_ne!(a, c);
+        assert_ne!(a.id(), c.id());
+        let s = arena.stats();
+        assert_eq!((s.interned, s.intern_hits), (2, 1));
+    }
+
+    #[test]
+    fn term_interning_is_pointer_identity() {
+        let (_, x, y) = setup();
+        let arena = LogicArena::new();
+        let a = arena.intern_term(&Term::var(x));
+        let b = arena.intern_term(&Term::var(x));
+        let c = arena.intern_term(&Term::var(y));
+        assert!(InternedTerm::ptr_eq(&a, &b));
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn memoized_fingerprint_matches_fresh() {
+        let (_, x, y) = setup();
+        let arena = LogicArena::new();
+        let f = gt0(x).and(gt0(y));
+        let i = arena.intern(&f);
+        assert_eq!(i.fingerprint(), f.fingerprint());
+    }
+
+    #[test]
+    fn memoized_normal_matches_unmemoized_prepass() {
+        let (_, x, y) = setup();
+        let arena = LogicArena::new();
+        let f = Formula::Not(Box::new(gt0(x).and(gt0(y)))).or(gt0(x));
+        let (n1, fp1) = arena.normal(&f);
+        let (n2, fp2) = arena.normal(&f);
+        assert!(Arc::ptr_eq(&n1, &n2), "second call must hit the memo");
+        let fresh = f.nnf().normalize();
+        assert_eq!(*n1, fresh);
+        assert_eq!(fp1, fresh.fingerprint());
+        assert_eq!(fp1, fp2);
+    }
+
+    #[test]
+    fn memoized_flat_normalize_is_distinct_from_nnf() {
+        let (_, x, y) = setup();
+        let arena = LogicArena::new();
+        let f = Formula::Not(Box::new(gt0(x).and(gt0(y))));
+        let (flat, ffp) = arena.normalized(&f);
+        let (flat2, _) = arena.normalized(&f);
+        assert!(Arc::ptr_eq(&flat, &flat2), "second call must hit the memo");
+        assert_eq!(*flat, f.normalize());
+        assert_eq!(ffp, f.normalize().fingerprint());
+        // Both memo slots coexist on one node and differ here.
+        let (nnf, _) = arena.normal(&f);
+        assert_ne!(*flat, *nnf);
+    }
+
+    #[test]
+    fn arenas_have_disjoint_id_spaces() {
+        let (_, x, y) = setup();
+        let a = LogicArena::new();
+        let b = LogicArena::new();
+        let fa = a.intern(&gt0(x));
+        let ga = a.intern(&gt0(y));
+        let fb = b.intern(&gt0(x));
+        // Each arena allocates ids densely from zero: interning into one
+        // arena never advances — or collides with — the other's id space.
+        assert_eq!(fa.id(), 0);
+        assert_eq!(ga.id(), 1);
+        assert_eq!(fb.id(), 0);
+        // And the allocations themselves are disjoint.
+        assert!(!InternedFormula::ptr_eq(&fa, &fb));
+        assert_eq!(b.stats().interned, 1);
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod atom;
 mod formula;
 mod hash;
@@ -53,8 +54,10 @@ mod sort;
 mod sym;
 mod term;
 
+pub use arena::{ArenaStats, InternedFormula, InternedTerm, LogicArena};
 pub use atom::{Atom, AtomDisplay, Rel};
 pub use formula::{Formula, FormulaDisplay};
+pub use hash::StableHasher;
 pub use linear::{LinConstraint, LinExpr, LinKey, NonLinearError};
 pub use model::{FuncInterp, Model, ModelDisplay};
 pub use rat::Rat;

@@ -3,7 +3,8 @@
 //! linear-form extraction with direct evaluation.
 
 use hotg_logic::{
-    Atom, Formula, LinExpr, LinKey, Model, Rat, Rel, Signature, Sort, Term, Value, Var,
+    Atom, Formula, InternedFormula, LinExpr, LinKey, LogicArena, Model, Rat, Rel, Signature, Sort,
+    Term, Value, Var,
 };
 use hotg_prop::prelude::*;
 
@@ -172,6 +173,71 @@ proptest! {
             prop_assert_eq!(f.nnf().eval(&m), Some(v));
             prop_assert_eq!(g.eval(&m), Some(!v));
             prop_assert_eq!(g.negate().eval(&m), Some(v));
+        }
+    }
+}
+
+/// Random formulas over comparisons of linear terms — the shape the
+/// concolic engine emits (conjunctions/disjunctions/negations of branch
+/// atoms, including boolean units).
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let atom = (arb_linear_term(), arb_linear_term(), 0usize..6).prop_map(|(l, r, i)| {
+        let rel = [Rel::Eq, Rel::Ne, Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge][i];
+        Formula::atom(Atom::new(l, rel, r))
+    });
+    let leaf = prop_oneof![Just(Formula::True), Just(Formula::False), atom];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
+            collection::vec(inner.clone(), 0..4).prop_map(Formula::Or),
+            inner.prop_map(|f| Formula::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// Arena pointer-equality coincides with structural equality: two
+    /// handles from one arena are the same allocation iff the formulas
+    /// they intern are structurally equal.
+    #[test]
+    fn arena_pointer_eq_iff_structural_eq(a in arb_formula(), b in arb_formula()) {
+        let arena = LogicArena::new();
+        let ia = arena.intern(&a);
+        let ib = arena.intern(&b);
+        prop_assert_eq!(InternedFormula::ptr_eq(&ia, &ib), a == b);
+        prop_assert_eq!(ia == ib, a == b);
+        // Re-interning is identity.
+        let ia2 = arena.intern(&a);
+        prop_assert!(InternedFormula::ptr_eq(&ia, &ia2));
+    }
+
+    /// Memoized fingerprints equal freshly-computed `fingerprint()`, both
+    /// for the interned formula and for its memoized normal form.
+    #[test]
+    fn arena_fingerprints_match_fresh(a in arb_formula()) {
+        let arena = LogicArena::new();
+        let i = arena.intern(&a);
+        prop_assert_eq!(i.fingerprint(), a.fingerprint());
+        let (norm, nfp) = arena.normal(&a);
+        prop_assert_eq!(nfp, norm.fingerprint());
+    }
+
+    /// The memoized solver pre-pass returns exactly the unmemoized
+    /// `nnf().normalize()`; `normalize` is idempotent on the result and
+    /// preserves evaluation semantics.
+    #[test]
+    fn arena_normal_idempotent_and_semantics_preserving(
+        a in arb_formula(),
+        x in -40i64..=40,
+        y in -40i64..=40,
+    ) {
+        let arena = LogicArena::new();
+        let (norm, _) = arena.normal(&a);
+        prop_assert_eq!(&*norm, &a.nnf().normalize());
+        prop_assert_eq!(&norm.normalize(), &*norm);
+        let (_sig, m) = two_var_model(x, y);
+        if let Some(v) = a.eval(&m) {
+            prop_assert_eq!(norm.eval(&m), Some(v));
         }
     }
 }

@@ -28,17 +28,26 @@ const SHARDS: usize = 16;
 /// query streams, not a tuning knob.
 const DEFAULT_CAPACITY: usize = 65_536;
 
-/// Hit/miss counters of a [`QueryCache`] (monotone, campaign-lifetime).
+/// Reuse counters of the solver stack (monotone, campaign-lifetime).
+///
+/// `hits`/`misses` account the query memo tables; `intern_hits` counts
+/// term-arena lookups answered by an already-interned node (memoized
+/// normalization/fingerprints); `clauses_reused` counts learned clauses
+/// carried across queries by incremental solver sessions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the memo table.
     pub hits: u64,
     /// Lookups that fell through to the solver.
     pub misses: u64,
+    /// Arena intern lookups answered by an existing node.
+    pub intern_hits: u64,
+    /// Learned clauses reused across queries by incremental sessions.
+    pub clauses_reused: u64,
 }
 
 impl CacheStats {
-    /// Hits as a fraction of all lookups (`0.0` when empty).
+    /// Hits as a fraction of all memo lookups (`0.0` when empty).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
@@ -52,6 +61,8 @@ impl CacheStats {
         CacheStats {
             hits: self.hits + other.hits,
             misses: self.misses + other.misses,
+            intern_hits: self.intern_hits + other.intern_hits,
+            clauses_reused: self.clauses_reused + other.clauses_reused,
         }
     }
 }
@@ -85,7 +96,10 @@ impl<K: Hash + Eq, V: Clone> QueryCache<K, V> {
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Fixed-key hasher: `DefaultHasher`'s keys are unspecified across
+        // Rust releases, which would make shard placement (and any
+        // persisted trace derived from it) toolchain-dependent.
+        let mut h = hotg_logic::StableHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
@@ -133,11 +147,14 @@ impl<K: Hash + Eq, V: Clone> QueryCache<K, V> {
         self.len() == 0
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters (a bare cache has no arena or session,
+    /// so the reuse counters are zero here and contributed by the owning
+    /// solver's `cache_stats`).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            ..CacheStats::default()
         }
     }
 }
@@ -242,13 +259,25 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let a = CacheStats { hits: 2, misses: 3 };
-        let b = CacheStats { hits: 5, misses: 7 };
+        let a = CacheStats {
+            hits: 2,
+            misses: 3,
+            intern_hits: 11,
+            clauses_reused: 1,
+        };
+        let b = CacheStats {
+            hits: 5,
+            misses: 7,
+            intern_hits: 13,
+            clauses_reused: 2,
+        };
         assert_eq!(
             a.merged(b),
             CacheStats {
                 hits: 7,
-                misses: 10
+                misses: 10,
+                intern_hits: 24,
+                clauses_reused: 3,
             }
         );
         assert_eq!(CacheStats::default().hit_rate(), 0.0);

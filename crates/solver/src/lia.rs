@@ -314,14 +314,18 @@ fn branch_node(
             continue; // validated in solve_int
         }
         let tag = Some(ci as u32);
-        let terms: Vec<(usize, Rat)> = con
-            .coeffs
-            .iter()
-            .map(|(k, c)| {
-                let i = keys.binary_search(k).expect("key in universe");
-                (idx[i], Rat::from(*c))
-            })
-            .collect();
+        let mut terms: Vec<(usize, Rat)> = Vec::with_capacity(con.coeffs.len());
+        for (k, c) in &con.coeffs {
+            // `keys` is the universe collected from these same constraints,
+            // so a miss is an internal invariant break — degrade to Unknown
+            // (routed into the engine's degradation ladder) rather than
+            // panicking a campaign worker.
+            let Ok(i) = keys.binary_search(k) else {
+                debug_assert!(false, "constraint key missing from universe");
+                return NodeOutcome::Done(LiaResult::Unknown);
+            };
+            terms.push((idx[i], Rat::from(*c)));
+        }
         let slack = s.add_row(&terms);
         let target = Rat::from(-con.constant);
         let result = match con.kind {
@@ -357,7 +361,13 @@ fn branch_node(
                     let mut out = BTreeMap::new();
                     for (i, k) in keys.iter().enumerate() {
                         let v = values[idx[i]];
-                        let as_int = v.to_i64().expect("integral value fits i64");
+                        // Integral but outside i64 (exact rationals are
+                        // i128-backed): the model is unrepresentable in the
+                        // engine's i64 input domain, so report Unknown
+                        // instead of panicking mid-campaign.
+                        let Some(as_int) = v.to_i64() else {
+                            return NodeOutcome::Done(LiaResult::Unknown);
+                        };
                         out.insert(k.clone(), as_int);
                     }
                     NodeOutcome::Done(LiaResult::Sat(out))

@@ -39,7 +39,7 @@ pub mod validity;
 
 pub use cache::{CacheStats, Keyed, QueryCache};
 pub use deadline::Deadline;
-pub use smt::{SmtConfig, SmtResult, SmtSolver};
+pub use smt::{SmtConfig, SmtResult, SmtSession, SmtSolver};
 pub use validity::{
     CounterInterp, Interpretation, Samples, Strategy, StrategyBinding, ValidityChecker,
     ValidityConfig, ValidityOutcome,

@@ -254,6 +254,8 @@ impl Simplex {
             .iter()
             .find(|&&(w, _)| w == nj)
             .map(|&(_, c)| c)
+            // Invariant: `nj` was selected as the entering variable *from*
+            // this row's terms, so its column is present by construction.
             .expect("pivot column must appear in row");
 
         // Value updates (Dutertre–de Moura `pivotAndUpdate`).
@@ -317,6 +319,12 @@ impl Simplex {
     /// stuck violating one of its bounds: the bound of the basic variable
     /// plus, for every row variable, the bound that blocks movement in the
     /// required direction.
+    ///
+    /// The `expect`s below are internal invariants, not input checks: the
+    /// caller only reaches this after establishing that the basic variable
+    /// violates the named bound and that every row variable is blocked in
+    /// the needed direction — both of which require the respective bound to
+    /// be present. No campaign input can falsify them.
     fn explain(&self, r: usize, below: bool) -> Explanation {
         let bi = self.rows[r].basic;
         let mut out = Vec::new();
@@ -369,6 +377,8 @@ impl Simplex {
                 return SimplexResult::Sat(values);
             };
             let bi = self.rows[r].basic;
+            // Invariant, not an input check: `violates_lower`/`violates_upper`
+            // just returned true for this bound, which requires it to exist.
             let target = if below {
                 self.vars[bi].lower.expect("violated lower bound exists").0
             } else {

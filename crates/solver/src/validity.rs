@@ -132,9 +132,10 @@ impl Samples {
     }
 
     /// A deterministic structural fingerprint of the recorded pairs
-    /// (`BTreeMap` iteration order makes it canonical).
+    /// (`BTreeMap` iteration order makes it canonical; the fixed-key
+    /// hasher makes the value itself stable across toolchains).
     pub fn fingerprint(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = hotg_logic::StableHasher::new();
         self.entries.hash(&mut h);
         h.finish()
     }
@@ -249,7 +250,15 @@ impl fmt::Display for StrategyDisplay<'_> {
 fn eval_ground(t: &Term, samples: &Samples, missing: &mut Vec<(FuncSym, Vec<i64>)>) -> Option<i64> {
     match t {
         Term::Int(c) => Some(*c),
-        Term::Var(_) => panic!("strategy terms must be ground"),
+        // Strategy terms are ground by construction (the synthesizer
+        // substitutes concrete completions into every binding). A stray
+        // variable means a synthesizer bug; mid-campaign that must degrade
+        // to "binding not interpretable" (the engine keeps the previous
+        // input value), never panic a worker thread.
+        Term::Var(_) => {
+            debug_assert!(false, "strategy terms must be ground: {t:?}");
+            None
+        }
         Term::App(f, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -398,20 +407,22 @@ pub struct ValidityChecker {
 struct ValidityQuery {
     inputs: Vec<Var>,
     samples: Samples,
-    extra: Formula,
-    pc: Formula,
+    extra: Arc<Formula>,
+    pc: Arc<Formula>,
 }
 
 impl ValidityQuery {
     fn keyed(
         inputs: &[Var],
         samples: &Samples,
-        extra: Formula,
-        pc: Formula,
+        extra: Arc<Formula>,
+        extra_fp: u64,
+        pc: Arc<Formula>,
+        pc_fp: u64,
     ) -> Keyed<ValidityQuery> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        h.write_u64(pc.fingerprint());
-        h.write_u64(extra.fingerprint());
+        let mut h = hotg_logic::StableHasher::new();
+        h.write_u64(pc_fp);
+        h.write_u64(extra_fp);
         h.write_u64(samples.fingerprint());
         inputs.hash(&mut h);
         let fp = h.finish();
@@ -440,6 +451,19 @@ impl ValidityChecker {
             config,
             memo: Arc::new(QueryCache::new()),
         }
+    }
+
+    /// A checker whose SMT solver interns through `arena` instead of its
+    /// private one. The arena only memoizes values the solver stack would
+    /// recompute, so sharing one campaign-wide arena is behavior-free.
+    pub fn with_arena(mut self, arena: Arc<hotg_logic::LogicArena>) -> ValidityChecker {
+        self.solver = self.solver.with_arena(arena);
+        self
+    }
+
+    /// The term/formula arena the underlying solver interns through.
+    pub fn arena(&self) -> &Arc<hotg_logic::LogicArena> {
+        self.solver.arena()
     }
 
     /// Combined hit/miss counters of the outcome memo and the underlying
@@ -509,10 +533,18 @@ impl ValidityChecker {
         // only on the memo key, so a memoized outcome is exactly what a
         // fresh computation would produce — racing workers that miss the
         // same key concurrently still all return the same outcome, which
-        // keeps parallel campaigns bit-identical to sequential ones.
-        let pc = pc.normalize();
-        let extra_antecedent = extra_antecedent.normalize();
-        let key = ValidityQuery::keyed(inputs, samples, extra_antecedent.clone(), pc.clone());
+        // keeps parallel campaigns bit-identical to sequential ones. The
+        // arena memoizes the normalization per unique formula.
+        let (pc, pc_fp) = self.solver.arena().normalized(pc);
+        let (extra_antecedent, extra_fp) = self.solver.arena().normalized(extra_antecedent);
+        let key = ValidityQuery::keyed(
+            inputs,
+            samples,
+            Arc::clone(&extra_antecedent),
+            extra_fp,
+            Arc::clone(&pc),
+            pc_fp,
+        );
         if let Some(outcome) = self.memo.get(&key) {
             return Ok(outcome);
         }
