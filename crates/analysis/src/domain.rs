@@ -1,9 +1,18 @@
 //! Abstract domains for the `mini` analyses: taint sets over flat input
 //! indices, integer intervals with widening, and three-valued truth.
+//!
+//! The interval and constancy lattices are shared with the solver's
+//! abstract-interpretation backend and live in `hotg-logic`
+//! ([`hotg_logic::Interval`], [`hotg_logic::Constancy`]); this module
+//! re-exports them and adds the source-level pieces: taint, abstract
+//! scalars, and the [`BinOp`] → [`Rel`]/[`OpKind`] adapters the fixpoint
+//! engine narrows through.
+
+pub use hotg_logic::{Constancy, Interval};
 
 use hotg_lang::BinOp;
+use hotg_logic::{OpKind, Rel};
 use std::collections::BTreeSet;
-use std::fmt;
 
 /// Taint: the set of flat input indices an abstract value may depend on.
 ///
@@ -13,322 +22,33 @@ use std::fmt;
 /// path-constraint formula.
 pub type Taint = BTreeSet<usize>;
 
-/// Three-valued static truth of a boolean expression (branch condition).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Constancy {
-    /// Provably true in every execution reaching the site.
-    AlwaysTrue,
-    /// Provably false in every execution reaching the site.
-    AlwaysFalse,
-    /// Not statically decided.
-    Unknown,
-}
-
-impl Constancy {
-    /// Least upper bound: agreeing verdicts survive, disagreement is
-    /// [`Constancy::Unknown`].
-    pub fn join(self, other: Constancy) -> Constancy {
-        if self == other {
-            self
-        } else {
-            Constancy::Unknown
-        }
-    }
-
-    /// Logical negation (`Unknown` stays `Unknown`).
-    #[allow(clippy::should_implement_trait)] // abstract transformer, not operator overload
-    pub fn not(self) -> Constancy {
-        match self {
-            Constancy::AlwaysTrue => Constancy::AlwaysFalse,
-            Constancy::AlwaysFalse => Constancy::AlwaysTrue,
-            Constancy::Unknown => Constancy::Unknown,
-        }
-    }
-
-    /// Three-valued conjunction.
-    pub fn and(self, other: Constancy) -> Constancy {
-        match (self, other) {
-            (Constancy::AlwaysFalse, _) | (_, Constancy::AlwaysFalse) => Constancy::AlwaysFalse,
-            (Constancy::AlwaysTrue, Constancy::AlwaysTrue) => Constancy::AlwaysTrue,
-            _ => Constancy::Unknown,
-        }
-    }
-
-    /// Three-valued disjunction.
-    pub fn or(self, other: Constancy) -> Constancy {
-        match (self, other) {
-            (Constancy::AlwaysTrue, _) | (_, Constancy::AlwaysTrue) => Constancy::AlwaysTrue,
-            (Constancy::AlwaysFalse, Constancy::AlwaysFalse) => Constancy::AlwaysFalse,
-            _ => Constancy::Unknown,
-        }
-    }
-}
-
-impl fmt::Display for Constancy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Constancy::AlwaysTrue => "always-true",
-            Constancy::AlwaysFalse => "always-false",
-            Constancy::Unknown => "unknown",
-        })
-    }
-}
-
-/// A (possibly unbounded) integer interval `[lo, hi]`; `None` bounds mean
-/// −∞ / +∞. Never empty: refinement that would produce an empty interval
-/// is dropped by the caller (the branch was decidable anyway).
+/// The logic relation of a `mini` comparison operator.
 ///
-/// Runtime arithmetic is *checked* (`mini` faults on overflow), so any
-/// operation whose mathematical bounds leave the `i64` range soundly goes
-/// to an unbounded side — executions past an overflow do not exist.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct Interval {
-    /// Lower bound (`None` = −∞).
-    pub lo: Option<i64>,
-    /// Upper bound (`None` = +∞).
-    pub hi: Option<i64>,
-}
-
-fn clamp_lo(v: i128) -> Option<i64> {
-    if v < i64::MIN as i128 || v > i64::MAX as i128 {
-        None
-    } else {
-        Some(v as i64)
+/// # Panics
+///
+/// Panics if `op` is not a comparison.
+pub fn rel_of(op: BinOp) -> Rel {
+    match op {
+        BinOp::Eq => Rel::Eq,
+        BinOp::Ne => Rel::Ne,
+        BinOp::Lt => Rel::Lt,
+        BinOp::Le => Rel::Le,
+        BinOp::Gt => Rel::Gt,
+        BinOp::Ge => Rel::Ge,
+        other => panic!("operator {other:?} is not a comparison"),
     }
 }
 
-fn clamp_hi(v: i128) -> Option<i64> {
-    clamp_lo(v)
-}
-
-impl Interval {
-    /// The full `i64` range (⊤).
-    pub const TOP: Interval = Interval { lo: None, hi: None };
-
-    /// The singleton interval `[v, v]`.
-    pub fn constant(v: i64) -> Interval {
-        Interval {
-            lo: Some(v),
-            hi: Some(v),
-        }
-    }
-
-    /// `[lo, hi]` with known bounds.
-    pub fn new(lo: i64, hi: i64) -> Interval {
-        debug_assert!(lo <= hi);
-        Interval {
-            lo: Some(lo),
-            hi: Some(hi),
-        }
-    }
-
-    /// `Some(v)` iff this is the singleton `[v, v]`.
-    pub fn as_const(self) -> Option<i64> {
-        match (self.lo, self.hi) {
-            (Some(a), Some(b)) if a == b => Some(a),
-            _ => None,
-        }
-    }
-
-    /// `true` iff both bounds are unknown.
-    pub fn is_top(self) -> bool {
-        self.lo.is_none() && self.hi.is_none()
-    }
-
-    /// Least upper bound.
-    pub fn join(self, other: Interval) -> Interval {
-        Interval {
-            lo: match (self.lo, other.lo) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                _ => None,
-            },
-            hi: match (self.hi, other.hi) {
-                (Some(a), Some(b)) => Some(a.max(b)),
-                _ => None,
-            },
-        }
-    }
-
-    /// Standard widening: bounds that moved since `self` jump to ±∞.
-    /// Guarantees loop fixpoints terminate.
-    pub fn widen(self, next: Interval) -> Interval {
-        Interval {
-            lo: match (self.lo, next.lo) {
-                (Some(a), Some(b)) if b >= a => Some(a),
-                _ => None,
-            },
-            hi: match (self.hi, next.hi) {
-                (Some(a), Some(b)) if b <= a => Some(a),
-                _ => None,
-            },
-        }
-    }
-
-    /// Intersection; `None` when empty.
-    pub fn intersect(self, other: Interval) -> Option<Interval> {
-        let lo = match (self.lo, other.lo) {
-            (Some(a), Some(b)) => Some(a.max(b)),
-            (a, b) => a.or(b),
-        };
-        let hi = match (self.hi, other.hi) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        };
-        if let (Some(a), Some(b)) = (lo, hi) {
-            if a > b {
-                return None;
-            }
-        }
-        Some(Interval { lo, hi })
-    }
-
-    /// Abstract addition.
-    #[allow(clippy::should_implement_trait)] // abstract transformer, not operator overload
-    pub fn add(self, other: Interval) -> Interval {
-        Interval {
-            lo: match (self.lo, other.lo) {
-                (Some(a), Some(b)) => clamp_lo(a as i128 + b as i128),
-                _ => None,
-            },
-            hi: match (self.hi, other.hi) {
-                (Some(a), Some(b)) => clamp_hi(a as i128 + b as i128),
-                _ => None,
-            },
-        }
-    }
-
-    /// Abstract subtraction.
-    #[allow(clippy::should_implement_trait)] // abstract transformer, not operator overload
-    pub fn sub(self, other: Interval) -> Interval {
-        Interval {
-            lo: match (self.lo, other.hi) {
-                (Some(a), Some(b)) => clamp_lo(a as i128 - b as i128),
-                _ => None,
-            },
-            hi: match (self.hi, other.lo) {
-                (Some(a), Some(b)) => clamp_hi(a as i128 - b as i128),
-                _ => None,
-            },
-        }
-    }
-
-    /// Abstract negation.
-    #[allow(clippy::should_implement_trait)] // abstract transformer, not operator overload
-    pub fn neg(self) -> Interval {
-        Interval {
-            lo: self.hi.and_then(|v| clamp_lo(-(v as i128))),
-            hi: self.lo.and_then(|v| clamp_hi(-(v as i128))),
-        }
-    }
-
-    /// Abstract multiplication (precise on bounded operands, ⊤ when a
-    /// corner product leaves `i64`).
-    #[allow(clippy::should_implement_trait)] // abstract transformer, not operator overload
-    pub fn mul(self, other: Interval) -> Interval {
-        if let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi) {
-            let corners = [
-                al as i128 * bl as i128,
-                al as i128 * bh as i128,
-                ah as i128 * bl as i128,
-                ah as i128 * bh as i128,
-            ];
-            let lo = corners.iter().copied().min().unwrap();
-            let hi = corners.iter().copied().max().unwrap();
-            return Interval {
-                lo: clamp_lo(lo),
-                hi: clamp_hi(hi),
-            };
-        }
-        // One side unbounded: only the zero annihilator is still exact.
-        if self.as_const() == Some(0) || other.as_const() == Some(0) {
-            return Interval::constant(0);
-        }
-        Interval::TOP
-    }
-
-    /// Abstract truncating division / remainder: precise only when both
-    /// operands are constants and the divisor is nonzero, else ⊤ (a zero
-    /// divisor faults at runtime, so reaching code sees any value).
-    pub fn div_like(self, op: BinOp, other: Interval) -> Interval {
-        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
-            if b != 0 {
-                let r = if op == BinOp::Div {
-                    a.checked_div(b)
-                } else {
-                    a.checked_rem(b)
-                };
-                if let Some(r) = r {
-                    return Interval::constant(r);
-                }
-            }
-        }
-        Interval::TOP
-    }
-
-    /// Three-valued truth of `a op b` for a comparison operator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `op` is not a comparison.
-    pub fn compare(op: BinOp, a: Interval, b: Interval) -> Constancy {
-        // `lt(a, b)`: is a < b always/never/unknown.
-        fn lt(a: Interval, b: Interval) -> Constancy {
-            match (a.hi, b.lo) {
-                (Some(ah), Some(bl)) if ah < bl => return Constancy::AlwaysTrue,
-                _ => {}
-            }
-            match (a.lo, b.hi) {
-                (Some(al), Some(bh)) if al >= bh => Constancy::AlwaysFalse,
-                _ => Constancy::Unknown,
-            }
-        }
-        fn le(a: Interval, b: Interval) -> Constancy {
-            match (a.hi, b.lo) {
-                (Some(ah), Some(bl)) if ah <= bl => return Constancy::AlwaysTrue,
-                _ => {}
-            }
-            match (a.lo, b.hi) {
-                (Some(al), Some(bh)) if al > bh => Constancy::AlwaysFalse,
-                _ => Constancy::Unknown,
-            }
-        }
-        match op {
-            BinOp::Lt => lt(a, b),
-            BinOp::Le => le(a, b),
-            BinOp::Gt => lt(b, a),
-            BinOp::Ge => le(b, a),
-            BinOp::Eq => match (a.as_const(), b.as_const()) {
-                (Some(x), Some(y)) if x == y => Constancy::AlwaysTrue,
-                _ => {
-                    if a.intersect(b).is_none() {
-                        Constancy::AlwaysFalse
-                    } else {
-                        Constancy::Unknown
-                    }
-                }
-            },
-            BinOp::Ne => Interval::compare(BinOp::Eq, a, b).not(),
-            other => panic!("operator {other:?} is not a comparison"),
-        }
-    }
-}
-
-impl Default for Interval {
-    fn default() -> Interval {
-        Interval::TOP
-    }
-}
-
-impl fmt::Display for Interval {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.lo {
-            Some(v) => write!(f, "[{v}, ")?,
-            None => write!(f, "[-inf, ")?,
-        }
-        match self.hi {
-            Some(v) => write!(f, "{v}]"),
-            None => write!(f, "+inf]"),
-        }
+/// The term operator of a `mini` division-like operator.
+///
+/// # Panics
+///
+/// Panics if `op` is not `/` or `%`.
+pub fn div_kind_of(op: BinOp) -> OpKind {
+    match op {
+        BinOp::Div => OpKind::Div,
+        BinOp::Mod => OpKind::Mod,
+        other => panic!("operator {other:?} is not division-like"),
     }
 }
 
@@ -419,20 +139,71 @@ mod tests {
     }
 
     #[test]
+    fn interval_mul_general_sign_cases() {
+        // One unbounded side no longer collapses to ⊤: the finite corner
+        // survives on the correct side.
+        let nonneg = Interval {
+            lo: Some(0),
+            hi: None,
+        };
+        assert_eq!(nonneg.mul(Interval::new(2, 3)), nonneg);
+        assert_eq!(
+            nonneg.mul(Interval::new(-3, -2)),
+            Interval {
+                lo: None,
+                hi: Some(0)
+            }
+        );
+        let upper = Interval {
+            lo: None,
+            hi: Some(4),
+        };
+        assert_eq!(
+            upper.mul(Interval::constant(-1)),
+            Interval {
+                lo: Some(-4),
+                hi: None
+            }
+        );
+        // Mixed signs against ⊤ stay ⊤.
+        assert!(Interval::new(-1, 1).mul(Interval::TOP).is_top());
+    }
+
+    #[test]
     fn interval_div_like() {
         assert_eq!(
-            Interval::constant(7).div_like(BinOp::Div, Interval::constant(2)),
+            Interval::constant(7).div_like(div_kind_of(BinOp::Div), Interval::constant(2)),
             Interval::constant(3)
         );
         assert_eq!(
-            Interval::constant(7).div_like(BinOp::Mod, Interval::constant(2)),
+            Interval::constant(7).div_like(div_kind_of(BinOp::Mod), Interval::constant(2)),
             Interval::constant(1)
         );
         assert!(Interval::constant(7)
-            .div_like(BinOp::Div, Interval::constant(0))
+            .div_like(div_kind_of(BinOp::Div), Interval::constant(0))
             .is_top());
+        // Constant divisors now divide interval dividends bound-by-bound.
+        assert_eq!(
+            Interval::new(1, 2).div_like(div_kind_of(BinOp::Div), Interval::constant(2)),
+            Interval::new(0, 1)
+        );
+        assert_eq!(
+            Interval::new(-9, 9).div_like(div_kind_of(BinOp::Div), Interval::constant(-3)),
+            Interval::new(-3, 3)
+        );
+        // Remainder by a constant is bounded by the divisor's magnitude
+        // and the dividend's sign.
+        assert_eq!(
+            Interval::new(0, 100).div_like(div_kind_of(BinOp::Mod), Interval::constant(7)),
+            Interval::new(0, 6)
+        );
+        assert_eq!(
+            Interval::TOP.div_like(div_kind_of(BinOp::Mod), Interval::constant(7)),
+            Interval::new(-6, 6)
+        );
+        // Interval divisors are still ⊤.
         assert!(Interval::new(1, 2)
-            .div_like(BinOp::Div, Interval::constant(2))
+            .div_like(div_kind_of(BinOp::Div), Interval::new(1, 2))
             .is_top());
     }
 
@@ -441,23 +212,47 @@ mod tests {
         use Constancy::*;
         let lo = Interval::new(0, 5);
         let hi = Interval::new(6, 9);
-        assert_eq!(Interval::compare(BinOp::Lt, lo, hi), AlwaysTrue);
-        assert_eq!(Interval::compare(BinOp::Ge, lo, hi), AlwaysFalse);
-        assert_eq!(Interval::compare(BinOp::Eq, lo, hi), AlwaysFalse);
-        assert_eq!(Interval::compare(BinOp::Ne, lo, hi), AlwaysTrue);
+        assert_eq!(Interval::compare(rel_of(BinOp::Lt), lo, hi), AlwaysTrue);
+        assert_eq!(Interval::compare(rel_of(BinOp::Ge), lo, hi), AlwaysFalse);
+        assert_eq!(Interval::compare(rel_of(BinOp::Eq), lo, hi), AlwaysFalse);
+        assert_eq!(Interval::compare(rel_of(BinOp::Ne), lo, hi), AlwaysTrue);
         assert_eq!(
-            Interval::compare(BinOp::Eq, Interval::constant(4), Interval::constant(4)),
+            Interval::compare(
+                rel_of(BinOp::Eq),
+                Interval::constant(4),
+                Interval::constant(4)
+            ),
             AlwaysTrue
         );
         assert_eq!(
-            Interval::compare(BinOp::Lt, lo, Interval::new(5, 9)),
+            Interval::compare(rel_of(BinOp::Lt), lo, Interval::new(5, 9)),
             Unknown
         );
         assert_eq!(
-            Interval::compare(BinOp::Le, lo, Interval::new(5, 9)),
+            Interval::compare(rel_of(BinOp::Le), lo, Interval::new(5, 9)),
             AlwaysTrue
         );
-        assert_eq!(Interval::compare(BinOp::Gt, Interval::TOP, lo), Unknown);
+        assert_eq!(
+            Interval::compare(rel_of(BinOp::Gt), Interval::TOP, lo),
+            Unknown
+        );
+    }
+
+    #[test]
+    fn narrow_matches_refinement_semantics() {
+        // `x < 3` narrows to hi = 2, not hi = 3 — the strict off-by-one
+        // the fixpoint engine and the solver backend must agree on.
+        let bound = Interval::constant(3);
+        let x = Interval::new(0, 10);
+        let narrowed = x
+            .intersect(Interval::narrow(rel_of(BinOp::Lt), bound).unwrap())
+            .unwrap();
+        assert_eq!(narrowed, Interval::new(0, 2));
+        let narrowed = x
+            .intersect(Interval::narrow(rel_of(BinOp::Gt), bound).unwrap())
+            .unwrap();
+        assert_eq!(narrowed, Interval::new(4, 10));
+        assert_eq!(Interval::narrow(rel_of(BinOp::Ne), bound), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! loops run to an interval fixpoint with widening after a few
 //! iterations.
 
-use crate::domain::{AbsVal, Constancy, Interval, Taint};
+use crate::domain::{div_kind_of, rel_of, AbsVal, Constancy, Interval, Taint};
 use hotg_lang::{stmt_ids, BinOp, BranchId, Expr, FuncDef, Param, Program, Stmt, StmtId, UnOp};
 use std::collections::{BTreeSet, HashMap};
 
@@ -485,12 +485,12 @@ impl<'p> Analyzer<'p> {
                         BinOp::Add => va.itv.add(vb.itv),
                         BinOp::Sub => va.itv.sub(vb.itv),
                         BinOp::Mul => va.itv.mul(vb.itv),
-                        BinOp::Div | BinOp::Mod => va.itv.div_like(*op, vb.itv),
+                        BinOp::Div | BinOp::Mod => va.itv.div_like(div_kind_of(*op), vb.itv),
                         _ => unreachable!(),
                     };
                     (AbsVal { taint, itv }, Constancy::Unknown)
                 } else if op.is_comparison() {
-                    let truth = Interval::compare(*op, va.itv, vb.itv);
+                    let truth = Interval::compare(rel_of(*op), va.itv, vb.itv);
                     (
                         AbsVal {
                             taint,
@@ -790,35 +790,18 @@ fn refine_cmp(st: &mut AbsState, op: BinOp, lhs: &Expr, rhs: &Expr) {
     }
 }
 
-/// Narrows `name` assuming `name op bound` holds.
+/// Narrows `name` assuming `name op bound` holds. The strict-comparison
+/// tightening (`name < bound` ⇒ `name ≤ hi(bound) − 1`) lives in the
+/// shared [`Interval::narrow`], which the solver's abstract backend uses
+/// on the same facts.
 fn refine_var(st: &mut AbsState, name: &str, op: BinOp, bound: Interval) {
+    if !op.is_comparison() {
+        return;
+    }
     let Slot::Scalar(v) = st.lookup_mut(name) else {
         return;
     };
-    let narrowed = match op {
-        // name < bound  ⇒  name ≤ hi(bound) − 1
-        BinOp::Lt => bound.hi.and_then(|h| h.checked_sub(1)).map(|h| Interval {
-            lo: None,
-            hi: Some(h),
-        }),
-        BinOp::Le => bound.hi.map(|h| Interval {
-            lo: None,
-            hi: Some(h),
-        }),
-        BinOp::Gt => bound.lo.and_then(|l| l.checked_add(1)).map(|l| Interval {
-            lo: Some(l),
-            hi: None,
-        }),
-        BinOp::Ge => bound.lo.map(|l| Interval {
-            lo: Some(l),
-            hi: None,
-        }),
-        BinOp::Eq => Some(bound),
-        // Interval holes are not representable.
-        BinOp::Ne => None,
-        _ => None,
-    };
-    if let Some(n) = narrowed {
+    if let Some(n) = Interval::narrow(rel_of(op), bound) {
         if let Some(refined) = v.itv.intersect(n) {
             v.itv = refined;
         }

@@ -51,6 +51,12 @@ const SOLVER_BENCH_PROGRAMS: [&str; 2] = ["fanout", "budget_cliff"];
 /// cache reuse (a generation re-posing equivalent queries) is exercised.
 const SOLVER_BENCH_MIN_QUERIES: usize = 150;
 
+/// Pre-solver acceptance floor: across the whole corpus' DART-sound
+/// query streams, at least this fraction of the distinct
+/// (cache-missing) queries must be answered by the abstract backend
+/// without any DPLL(T) work.
+const BACKEND_SHORT_CIRCUIT_FLOOR: f64 = 0.2;
+
 struct Args {
     reduced: bool,
     chaos: bool,
@@ -422,6 +428,66 @@ fn solver_row_json(r: &SolverBenchRow) -> String {
     )
 }
 
+/// One query class' pre-solver cascade measurement.
+struct BackendBenchRow {
+    program: &'static str,
+    /// Backend name (`"abstract"`).
+    backend: &'static str,
+    /// Distinct (cache-missing) queries the backend was consulted on.
+    queries: u64,
+    unsat_short_circuits: u64,
+    valid_short_circuits: u64,
+    sat_short_circuits: u64,
+    /// Fraction of backend queries answered without DPLL(T).
+    short_circuit_rate: f64,
+}
+
+/// Replays a captured query stream through a fresh cascade-enabled
+/// solver and reads the backend counters: how many of the campaign's
+/// distinct queries the abstract layer decides before any DPLL(T) work —
+/// refutations (`unsat_short_circuits`) plus forced-model answers
+/// (`sat_short_circuits`). The model-returning `check` path never asks
+/// for validity, so `valid_short_circuits` stays 0 here; it is reported
+/// for completeness since validity-checker replays would populate it.
+fn backend_replay(program: &'static str, stream: &[Formula]) -> BackendBenchRow {
+    let solver = SmtSolver::new();
+    for q in stream {
+        let _ = solver.check(q);
+    }
+    let stats = solver
+        .backend_stats()
+        .expect("pre-solving is on in the default configuration");
+    let short_circuit_rate = if stats.queries > 0 {
+        stats.short_circuits() as f64 / stats.queries as f64
+    } else {
+        0.0
+    };
+    BackendBenchRow {
+        program,
+        backend: stats.backend,
+        queries: stats.queries,
+        unsat_short_circuits: stats.unsat_short_circuits,
+        valid_short_circuits: stats.valid_short_circuits,
+        sat_short_circuits: stats.sat_short_circuits,
+        short_circuit_rate,
+    }
+}
+
+fn backend_row_json(r: &BackendBenchRow) -> String {
+    format!(
+        "{{\"program\": {}, \"backend\": {}, \"queries\": {}, \
+         \"unsat_short_circuits\": {}, \"valid_short_circuits\": {}, \
+         \"sat_short_circuits\": {}, \"short_circuit_rate\": {:.4}}}",
+        json_str(r.program),
+        json_str(r.backend),
+        r.queries,
+        r.unsat_short_circuits,
+        r.valid_short_circuits,
+        r.sat_short_circuits,
+        r.short_circuit_rate,
+    )
+}
+
 /// Silence the default panic-hook chatter for the chaos legs: injected
 /// worker panics are expected and caught by the driver, so their
 /// payloads (tagged `chaos:`) should not spam stderr.
@@ -576,14 +642,19 @@ fn main() {
         par_technique.name()
     );
 
-    // Solver-throughput replay (independent of --reduced, like the paper
-    // claims): the real DART-sound query stream of each bench program,
-    // replayed as fresh-solver-per-query vs one incremental session.
-    let solver_rows: Vec<SolverBenchRow> = SOLVER_BENCH_PROGRAMS
+    // Captured DART-sound query streams, one per corpus program
+    // (independent of --reduced, like the paper claims). The
+    // solver-throughput replay uses its two stress programs; the backend
+    // section below measures every query class that poses queries.
+    let streams: Vec<(&'static str, Vec<Formula>)> = corpus::all()
+        .into_iter()
+        .map(|(name, _)| (name, capture_query_stream(name)))
+        .collect();
+    let solver_rows: Vec<SolverBenchRow> = streams
         .iter()
-        .map(|name| {
-            let stream = capture_query_stream(name);
-            let row = solver_replay(name, &stream);
+        .filter(|(name, _)| SOLVER_BENCH_PROGRAMS.contains(name))
+        .map(|(name, stream)| {
+            let row = solver_replay(name, stream);
             eprintln!(
                 "solver {:<14} {} queries ({} recorded × {} rounds): \
                  {:.0} q/s baseline, {:.0} q/s session, speedup {:.2}x \
@@ -605,13 +676,52 @@ fn main() {
     let solver_pass = solver_rows.iter().all(|r| r.pass);
     let solver_json: Vec<String> = solver_rows.iter().map(solver_row_json).collect();
 
+    // Pre-solver cascade: every query class with a nonempty captured
+    // stream, measured for how many distinct queries the abstract
+    // backend decides without any DPLL(T) work. Gated on the combined
+    // rate across classes.
+    let backend_rows: Vec<BackendBenchRow> = streams
+        .iter()
+        .filter(|(_, stream)| !stream.is_empty())
+        .map(|(name, stream)| {
+            let row = backend_replay(name, stream);
+            eprintln!(
+                "backend {:<13} {}/{} queries short-circuited by `{}` \
+                 ({:.1}% — {} unsat, {} forced-model)",
+                row.program,
+                row.unsat_short_circuits + row.valid_short_circuits + row.sat_short_circuits,
+                row.queries,
+                row.backend,
+                row.short_circuit_rate * 100.0,
+                row.unsat_short_circuits,
+                row.sat_short_circuits,
+            );
+            row
+        })
+        .collect();
+    let backend_queries: u64 = backend_rows.iter().map(|r| r.queries).sum();
+    let backend_answered: u64 = backend_rows
+        .iter()
+        .map(|r| r.unsat_short_circuits + r.valid_short_circuits + r.sat_short_circuits)
+        .sum();
+    let backend_rate = if backend_queries > 0 {
+        backend_answered as f64 / backend_queries as f64
+    } else {
+        0.0
+    };
+    let backend_pass = backend_queries > 0 && backend_rate >= BACKEND_SHORT_CIRCUIT_FLOOR;
+    let backend_json: Vec<String> = backend_rows.iter().map(backend_row_json).collect();
+
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/4\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/5\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"fold_drift\": {},\n  \
          \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
          \"solver\": {{\"technique\": {}, \
          \"baseline\": \"fresh-solver-per-query\", \"pass\": {}, \
+         \"rows\": [\n    {}\n  ]}},\n  \
+         \"backends\": {{\"technique\": {}, \"cascade\": \"abstract -> dpll(t)\", \
+         \"combined_short_circuit_rate\": {:.4}, \"floor\": {:.2}, \"pass\": {}, \
          \"rows\": [\n    {}\n  ]}},\n  \
          \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
@@ -627,6 +737,11 @@ fn main() {
         json_str(Technique::DartSound.name()),
         solver_pass,
         solver_json.join(",\n    "),
+        json_str(Technique::DartSound.name()),
+        backend_rate,
+        BACKEND_SHORT_CIRCUIT_FLOOR,
+        backend_pass,
+        backend_json.join(",\n    "),
         json_str(par_technique.name()),
         threads,
         host_threads,
@@ -652,6 +767,15 @@ fn main() {
         eprintln!(
             "campaign-bench: solver-throughput replay below the 3x \
              session-reuse floor"
+        );
+        failed = true;
+    }
+    if !backend_pass {
+        eprintln!(
+            "campaign-bench: abstract backend short-circuited {:.1}% of \
+             the bench query streams (floor {:.0}%)",
+            backend_rate * 100.0,
+            BACKEND_SHORT_CIRCUIT_FLOOR * 100.0
         );
         failed = true;
     }

@@ -172,6 +172,22 @@ impl Engine<'_> {
             intern_hits: self.arena.stats().intern_hits,
             clauses_reused: session_clauses_reused,
         });
+        // Pre-solver cascade totals: the SMT solver's and validity
+        // checker's cascades are distinct (the checker wraps its own
+        // solver), so merge their counters like the cache stats above.
+        let backend = match (smt.backend_stats(), validity.backend_stats()) {
+            (Some(a), Some(b)) => Some(a.merged(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(b) = backend {
+            em.emit(CampaignEvent::BackendStats {
+                backend: b.backend.to_string(),
+                queries: b.queries,
+                unsat_short_circuits: b.unsat_short_circuits,
+                valid_short_circuits: b.valid_short_circuits,
+                sat_short_circuits: b.sat_short_circuits,
+            });
+        }
     }
 
     /// Translates one executed run into events and folds its samples

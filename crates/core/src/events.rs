@@ -144,6 +144,24 @@ pub enum CampaignEvent {
         /// sessions (zero when incremental solving is off).
         clauses_reused: u64,
     },
+    /// Pre-solver cascade totals (SMT solver plus validity checker),
+    /// emitted once at the end of a directed campaign when pre-solving
+    /// is enabled. Announcement-only: not folded into the report — which
+    /// backend answered a query depends on cache scheduling (whichever
+    /// thread first poses it charges the backend), exactly like the
+    /// cache hit/miss split.
+    BackendStats {
+        /// Name of the pre-solver backend (`"abstract"`).
+        backend: String,
+        /// Queries posed to the backend (solver-cache misses).
+        queries: u64,
+        /// Queries refuted without any DPLL(T) work.
+        unsat_short_circuits: u64,
+        /// Verdict-only queries proved valid without any DPLL(T) work.
+        valid_short_circuits: u64,
+        /// Queries answered with a forced model without any DPLL(T) work.
+        sat_short_circuits: u64,
+    },
     /// The campaign stopped early because
     /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
     /// expired.
@@ -174,6 +192,7 @@ impl CampaignEvent {
             CampaignEvent::RunExecuted { .. } => "run_executed",
             CampaignEvent::CacheStats { .. } => "cache_stats",
             CampaignEvent::SolverSessionStats { .. } => "solver_session_stats",
+            CampaignEvent::BackendStats { .. } => "backend_stats",
             CampaignEvent::CampaignTimedOut => "campaign_timed_out",
             CampaignEvent::CampaignFinished => "campaign_finished",
         }
@@ -251,6 +270,21 @@ impl CampaignEvent {
                 s.push_str(&format!(
                     ",\"queries\":{queries},\"intern_hits\":{intern_hits},\
                      \"clauses_reused\":{clauses_reused}"
+                ));
+            }
+            CampaignEvent::BackendStats {
+                backend,
+                queries,
+                unsat_short_circuits,
+                valid_short_circuits,
+                sat_short_circuits,
+            } => {
+                s.push_str(&format!(
+                    ",\"backend\":{},\"queries\":{queries},\
+                     \"unsat_short_circuits\":{unsat_short_circuits},\
+                     \"valid_short_circuits\":{valid_short_circuits},\
+                     \"sat_short_circuits\":{sat_short_circuits}",
+                    json_str(backend)
                 ));
             }
             CampaignEvent::SitePresampled

@@ -209,6 +209,34 @@ fn event_stream_folds_to_report_counters() {
     }
 }
 
+/// The pre-solver cascade is report-invisible: for every program ×
+/// technique, a campaign with the abstract backend enabled (the
+/// default) produces the bit-identical canonical report of one with
+/// pre-solving disabled. The cascade may only change *which layer*
+/// answers a query, never the answer — this pins that contract on real
+/// campaigns, complementing the per-query property suite in
+/// `hotg-solver`.
+#[test]
+fn cascade_is_report_invisible() {
+    quiet_injected_panics();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            let on = combo_config(width, 1, None);
+            let mut off = combo_config(width, 1, None);
+            off.validity.smt.pre_solve = false;
+            let r_on = Driver::new(&program, &natives, on).run(technique);
+            let r_off = Driver::new(&program, &natives, off).run(technique);
+            assert_eq!(
+                canonical(&r_on),
+                canonical(&r_off),
+                "{name}/{technique}: the cascade changed the campaign report"
+            );
+        }
+    }
+}
+
 /// Thread-count invariance, asserted directly on the digest lines: for
 /// every program × technique × chaos leg, the `threads1` and `threads4`
 /// digests are equal.

@@ -45,6 +45,7 @@
 
 mod arena;
 mod atom;
+mod domain;
 mod formula;
 mod hash;
 mod linear;
@@ -56,6 +57,7 @@ mod term;
 
 pub use arena::{ArenaStats, InternedFormula, InternedTerm, LogicArena};
 pub use atom::{Atom, AtomDisplay, Rel};
+pub use domain::{Constancy, Interval};
 pub use formula::{Formula, FormulaDisplay};
 pub use hash::StableHasher;
 pub use linear::{LinConstraint, LinExpr, LinKey, NonLinearError};

@@ -17,6 +17,8 @@
 //! * [`atoms`] — canonicalization of atoms into `Eq`/`Le` primitives;
 //! * [`euf`] — ground congruence closure (EUF);
 //! * [`smt`] — lazy DPLL(T) with Ackermann expansion of applications;
+//! * [`backend`] — abstract-interpretation pre-solver consulted by the
+//!   cascade before any DPLL(T) work;
 //! * [`validity`] — validity checking and strategy synthesis.
 //!
 //! The paper used Z3 with an ad-hoc pre-processing step because
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod atoms;
+pub mod backend;
 pub mod cache;
 pub mod deadline;
 pub mod euf;
@@ -37,9 +40,12 @@ pub mod simplex;
 pub mod smt;
 pub mod validity;
 
+pub use backend::{
+    AbstractBackend, BackendStats, Cascade, ModelVerdict, PreVerdict, SolverBackend,
+};
 pub use cache::{CacheStats, Keyed, QueryCache};
 pub use deadline::Deadline;
-pub use smt::{SmtConfig, SmtResult, SmtSession, SmtSolver};
+pub use smt::{SmtConfig, SmtResult, SmtSession, SmtSolver, Verdict};
 pub use validity::{
     CounterInterp, Interpretation, Samples, Strategy, StrategyBinding, ValidityChecker,
     ValidityConfig, ValidityOutcome,

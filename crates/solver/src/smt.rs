@@ -10,6 +10,7 @@
 //! abstraction with simplex + branch-and-bound as the theory oracle.
 
 use crate::atoms::{eq_split, negate_le, normalize, NormAtom, Prim};
+use crate::backend::{BackendStats, Cascade, ModelVerdict, PreVerdict};
 use crate::cache::{CacheStats, Keyed, QueryCache};
 use crate::deadline::Deadline;
 use crate::lia::{solve_int, solve_int_budgeted, ConKind, IntConstraint, LiaConfig, LiaResult};
@@ -36,6 +37,31 @@ impl SmtResult {
     pub fn is_sat(&self) -> bool {
         matches!(self, SmtResult::Sat(_))
     }
+
+    /// This result's model-free verdict.
+    pub fn verdict(&self) -> Verdict {
+        match self {
+            SmtResult::Sat(_) => Verdict::Sat,
+            SmtResult::Unsat => Verdict::Unsat,
+            SmtResult::Unknown => Verdict::Unknown,
+        }
+    }
+}
+
+/// A model-free satisfiability verdict: what [`SmtSolver::verdict`]
+/// returns to callers that only test `Unsat`-ness (refutation proofs,
+/// validity certification). Because no model is materialized, the
+/// pre-solver cascade may answer `Sat` for abstractly valid formulas —
+/// which [`SmtSolver::check`] can only short-circuit in the narrower
+/// forced-model case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfiable (no model offered).
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// The budget was exhausted before a definitive answer.
+    Unknown,
 }
 
 /// Configuration of the SMT solver.
@@ -69,6 +95,13 @@ pub struct SmtConfig {
     /// golden parity suite) require bit-identical models. Verdicts are
     /// unaffected either way.
     pub incremental: bool,
+    /// Consult the abstract-interpretation pre-solver cascade
+    /// ([`crate::backend`]) on every cache miss before any DPLL(T) work.
+    /// The cascade is sound and answers only what DPLL(T) would have
+    /// answered — verdicts by abstract refutation, models only when
+    /// narrowing *forces* the (then unique) model — so it only changes
+    /// *who* answers, never *what*. On by default.
+    pub pre_solve: bool,
 }
 
 impl SmtConfig {
@@ -81,6 +114,7 @@ impl SmtConfig {
             trace: std::env::var_os("HOTG_SMT_TRACE").is_some(),
             deadline: Deadline::NONE,
             incremental: false,
+            pre_solve: true,
         }
     }
 }
@@ -111,7 +145,7 @@ impl Default for SmtConfig {
 /// }
 /// # Ok::<(), hotg_logic::NonLinearError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SmtSolver {
     config: SmtConfig,
     /// Memo table over *normalized* input formulas. Shared by clones of
@@ -129,6 +163,17 @@ pub struct SmtSolver {
     /// capture a campaign's real query stream for offline replay; it
     /// never affects verdicts.
     recorder: Option<Arc<Mutex<Vec<Formula>>>>,
+    /// The pre-solver cascade, consulted on cache misses when
+    /// [`SmtConfig::pre_solve`] is set. Shared by clones (and their
+    /// sessions), so the short-circuit counters aggregate across the
+    /// worker threads of a campaign.
+    pre: Option<Arc<Cascade>>,
+}
+
+impl Default for SmtSolver {
+    fn default() -> SmtSolver {
+        SmtSolver::new()
+    }
 }
 
 #[derive(Debug)]
@@ -286,6 +331,9 @@ impl SmtSolver {
             cache: Arc::new(QueryCache::new()),
             arena: Arc::new(LogicArena::new()),
             recorder: None,
+            pre: config
+                .pre_solve
+                .then(|| Arc::new(Cascade::abstract_interpretation())),
         }
     }
 
@@ -326,6 +374,14 @@ impl SmtSolver {
             cache: Arc::clone(&self.cache),
             arena: Arc::clone(&self.arena),
             recorder: self.recorder.clone(),
+            // Keep sharing the cascade (its counters stay campaign-wide);
+            // create one only if the reconfiguration switches pre-solving
+            // on for a solver built without it.
+            pre: config.pre_solve.then(|| {
+                self.pre
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(Cascade::abstract_interpretation()))
+            }),
         }
     }
 
@@ -344,6 +400,12 @@ impl SmtSolver {
             cache: Arc::new(QueryCache::new()),
             arena: Arc::clone(&self.arena),
             recorder: None,
+            // A private cascade for the same reason as the private cache:
+            // escalated-retry traffic must not skew the campaign's
+            // published backend counters.
+            pre: config
+                .pre_solve
+                .then(|| Arc::new(Cascade::abstract_interpretation())),
         }
     }
 
@@ -355,6 +417,15 @@ impl SmtSolver {
     /// query charges the miss.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Counter snapshot of the pre-solver cascade, or `None` when
+    /// pre-solving is disabled. Announcement-only: the campaign engine
+    /// publishes it as a `BackendStats` event, which is never folded into
+    /// reports (the counters depend on cache scheduling, exactly like the
+    /// cache's own hit/miss split).
+    pub fn backend_stats(&self) -> Option<BackendStats> {
+        self.pre.as_ref().map(|pre| pre.stats())
     }
 
     /// Conjoins functional-consistency (Ackermann) clauses for every pair
@@ -403,6 +474,33 @@ impl SmtSolver {
         if let Some(cached) = self.cache.get(&key) {
             return Ok(cached);
         }
+        // Pre-solver cascade: a sound backend answering `Unsat` (abstract
+        // contradiction) or `Sat` with the formula's *forced* model (every
+        // variable pinned to a point, candidate verified by evaluation).
+        // Either answer is exactly what DPLL(T) would have returned — the
+        // forced model is unique — so both are memoized like one. An
+        // already-expired deadline skips the cascade: under a dead
+        // deadline a cascade-free solver concedes `Unknown` on every
+        // query (the resilience ladder pins on that), and the cascade
+        // must never change what a campaign observes.
+        if let Some(pre) = self
+            .pre
+            .as_ref()
+            .filter(|_| !self.config.deadline.expired())
+        {
+            match pre.pre_check_model(key.payload()) {
+                ModelVerdict::Unsat => {
+                    self.cache.insert(key, SmtResult::Unsat);
+                    return Ok(SmtResult::Unsat);
+                }
+                ModelVerdict::Forced(model) => {
+                    let result = SmtResult::Sat(model);
+                    self.cache.insert(key, result.clone());
+                    return Ok(result);
+                }
+                ModelVerdict::Unknown => {}
+            }
+        }
         let full = Self::ackermannize(key.payload());
 
         let result = self.check_inner(&full);
@@ -429,6 +527,55 @@ impl SmtSolver {
             );
         }
         result
+    }
+
+    /// Decides satisfiability when the caller only needs the verdict,
+    /// never a model (refutation tests like `check(f) == Unsat`).
+    ///
+    /// Identical to [`SmtSolver::check`] followed by
+    /// [`SmtResult::verdict`], except that the pre-solver cascade may
+    /// additionally short-circuit abstractly *valid* formulas with
+    /// `Verdict::Sat`: sound (a valid formula is satisfiable) and
+    /// indistinguishable to a verdict-only caller, but unavailable to
+    /// `check` in general because validity names no model to hand back.
+    /// Such answers are not memoized — the shared cache stores
+    /// model-carrying results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonLinearError`] exactly as [`SmtSolver::check`] would:
+    /// the cascade stays silent on any formula containing an atom outside
+    /// the linear theory.
+    pub fn verdict(&self, formula: &Formula) -> Result<Verdict, NonLinearError> {
+        let (norm, fp) = self.arena.normal(formula);
+        let key = Keyed::new(fp, norm);
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached.verdict());
+        }
+        // Skipped under an expired deadline for the same reason as in
+        // `check`: a dead deadline must concede everywhere.
+        if let Some(pre) = self
+            .pre
+            .as_ref()
+            .filter(|_| !self.config.deadline.expired())
+        {
+            match pre.pre_check(key.payload(), true) {
+                PreVerdict::Unsat => {
+                    self.cache.insert(key, SmtResult::Unsat);
+                    return Ok(Verdict::Unsat);
+                }
+                PreVerdict::Valid => return Ok(Verdict::Sat),
+                PreVerdict::Unknown => {}
+            }
+        }
+        let full = Self::ackermannize(key.payload());
+        let result = self.check_inner(&full)?;
+        let deadline_unknown =
+            matches!(result, SmtResult::Unknown) && self.config.deadline.expired();
+        if !deadline_unknown {
+            self.cache.insert(key, result.clone());
+        }
+        Ok(result.verdict())
     }
 
     fn check_inner(&self, full: &Formula) -> Result<SmtResult, NonLinearError> {
@@ -731,6 +878,28 @@ impl SmtSession {
         if let Some(cached) = solver.cache.get(&key) {
             return Ok(cached);
         }
+        // Same cascade short-circuit as the non-incremental path in
+        // `SmtSolver::check` — and doubly worthwhile here, since a
+        // pre-answered query also skips the persistent core's push/pop.
+        // Skipped under an expired deadline, same as there.
+        if let Some(pre) = solver
+            .pre
+            .as_ref()
+            .filter(|_| !solver.config.deadline.expired())
+        {
+            match pre.pre_check_model(key.payload()) {
+                ModelVerdict::Unsat => {
+                    solver.cache.insert(key, SmtResult::Unsat);
+                    return Ok(SmtResult::Unsat);
+                }
+                ModelVerdict::Forced(model) => {
+                    let result = SmtResult::Sat(model);
+                    solver.cache.insert(key, result.clone());
+                    return Ok(result);
+                }
+                ModelVerdict::Unknown => {}
+            }
+        }
         let full = SmtSolver::ackermannize(key.payload());
         let mut enc = state.lock().expect("session lock");
         // Every learned clause from earlier queries is live for this one.
@@ -983,6 +1152,10 @@ mod tests {
     #[test]
     fn expired_deadline_concedes_unknown_without_caching() {
         let (_, x, _, _) = setup();
+        // The pre-solver cascade could force this query's model, but a
+        // dead deadline must concede everywhere — the cascade is skipped
+        // and DPLL(T) concedes Unknown, exactly like a cascade-free
+        // solver would.
         let f = Formula::atom(Atom::eq(Term::var(x), Term::int(42)));
         let expired = SmtConfig {
             deadline: Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1)),
@@ -1078,8 +1251,12 @@ mod tests {
             Term::int(30),
         )));
 
+        // Pre-solving off: this test exercises the persistent DPLL core's
+        // lemma learning, which needs the contradictory siblings to reach
+        // it instead of being refuted by the cascade.
         let solver = SmtSolver::with_config(SmtConfig {
             incremental: true,
+            pre_solve: false,
             ..SmtConfig::new()
         });
         let session = SmtSession::for_solver(&solver);

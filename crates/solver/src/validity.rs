@@ -27,7 +27,7 @@
 //! are free) is exactly `∀F : A ⇒ pc[σ]`.
 
 use crate::cache::{CacheStats, Keyed, QueryCache};
-use crate::smt::{SmtResult, SmtSolver};
+use crate::smt::{SmtResult, SmtSolver, Verdict};
 use hotg_logic::{Atom, Formula, FuncSym, Model, NonLinearError, Rel, Signature, Term, Value, Var};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -472,6 +472,12 @@ impl ValidityChecker {
         self.memo.stats().merged(self.solver.cache_stats())
     }
 
+    /// Pre-solver cascade counters of the underlying SMT solver (`None`
+    /// when pre-solving is disabled).
+    pub fn backend_stats(&self) -> Option<crate::backend::BackendStats> {
+        self.solver.backend_stats()
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &ValidityConfig {
         &self.config
@@ -637,7 +643,7 @@ impl ValidityChecker {
                     CounterInterp::SumShift(shift),
                 ] {
                     let encoded = counter_encode(pc, samples, counter).and(antecedent.clone());
-                    if self.solver.check(&encoded)? == SmtResult::Unsat {
+                    if self.solver.verdict(&encoded)? == Verdict::Unsat {
                         return Ok(ValidityOutcome::Invalid {
                             counter: Some(counter),
                         });
@@ -682,7 +688,10 @@ impl ValidityChecker {
             .clone()
             .and(extra_ground)
             .and(instantiated.negate());
-        Ok(self.solver.check(&refutation)? == SmtResult::Unsat)
+        // A verdict is all that is needed (and all that is used): the
+        // pre-solver cascade may refute — or, via its validity side,
+        // satisfy — the refutation query without any DPLL(T) work.
+        Ok(self.solver.verdict(&refutation)? == Verdict::Unsat)
     }
 
     /// Completes a partial substitution with concrete values for the
