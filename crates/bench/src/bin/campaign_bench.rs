@@ -27,8 +27,11 @@
 //! [`CampaignEvent`]: hotg_core::CampaignEvent
 
 use hotg_bench::paper_examples;
+use hotg_concolic::{
+    execute_compiled_profiled, execute_opts, ConcolicContext, ExecProfile, SymbolicMode,
+};
 use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
-use hotg_lang::corpus;
+use hotg_lang::{compile, corpus, InputVector};
 use hotg_logic::{Formula, LogicArena};
 use hotg_solver::{SmtConfig, SmtSession, SmtSolver};
 use std::fmt::Write as _;
@@ -56,6 +59,19 @@ const SOLVER_BENCH_MIN_QUERIES: usize = 150;
 /// (cache-missing) queries must be answered by the abstract backend
 /// without any DPLL(T) work.
 const BACKEND_SHORT_CIRCUIT_FLOOR: f64 = 0.2;
+
+/// Replay volume floor per engine leg: each leg re-runs its replay
+/// vectors in whole-corpus rounds until at least this many runs were
+/// timed, so the measurement is warm and stable on CI hosts.
+const EXEC_BENCH_MIN_RUNS: usize = 4096;
+
+/// Throughput the compiled VMs must clear over the tree-walking
+/// reference interpreters, as the combined (all bench programs,
+/// concrete + concolic legs) wall-time ratio. Gated on the combined
+/// ratio rather than per row — per-program ratios vary with how much
+/// of a run is shared symbolic-side work — with per-row speedups
+/// reported alongside.
+const EXEC_SPEEDUP_FLOOR: f64 = 2.0;
 
 struct Args {
     reduced: bool,
@@ -488,6 +504,165 @@ fn backend_row_json(r: &BackendBenchRow) -> String {
     )
 }
 
+/// One program's execution-throughput replay measurement: the same
+/// replay corpus run by the tree-walking interpreters and by the
+/// bytecode VMs, concrete and concolic legs timed separately.
+struct ExecBenchRow {
+    program: &'static str,
+    /// Replay input vectors per round.
+    vectors: usize,
+    /// Whole-corpus replay rounds.
+    rounds: usize,
+    /// Timed runs per leg (`vectors * rounds`); each engine runs two
+    /// legs (concrete + concolic), so it executes `2 * runs` in total.
+    runs: usize,
+    concrete_speedup: f64,
+    concolic_speedup: f64,
+    /// Combined runs/second, tree-walker legs.
+    tree_rps: f64,
+    /// Combined runs/second, VM legs.
+    vm_rps: f64,
+    /// Combined wall-time ratio (`vm_rps / tree_rps`).
+    speedup: f64,
+    /// Bytecode instructions retired across both VM legs.
+    instructions: u64,
+    /// Combined tree-walker wall time (for the section-level gate).
+    tree_s: f64,
+    /// Combined VM wall time (for the section-level gate).
+    vm_s: f64,
+}
+
+/// Deterministic replay vectors in the corpus' interesting band
+/// (±1000): the bench must measure the same work on every host, so no
+/// entropy source — a splitmix64 stream keyed only by position.
+fn exec_inputs(width: usize, n: usize) -> Vec<InputVector> {
+    let mut state = 0u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| InputVector::new((0..width).map(|_| (next() % 2001) as i64 - 1000).collect()))
+        .collect()
+}
+
+/// Times the tree-walking interpreters against the bytecode VMs on one
+/// corpus program: compile once, then replay the same deterministic
+/// input vectors through all four legs — concrete tree vs concrete VM,
+/// and concolic tree vs concolic shadow VM (Uninterpreted mode, the
+/// higher-order technique's profile). Both engine families are
+/// bit-identical by construction (the parity and differential suites
+/// pin that), so the replay measures pure dispatch throughput.
+fn exec_replay(
+    name: &'static str,
+    program: &hotg_lang::Program,
+    natives: &hotg_lang::NativeRegistry,
+) -> ExecBenchRow {
+    let cp = compile(program, natives).expect("bench programs compile");
+    let ctx = ConcolicContext::new(program);
+    let vectors = exec_inputs(program.input_width(), 16);
+    let fuel = 50_000;
+    let mode = SymbolicMode::Uninterpreted;
+    let profile = ExecProfile::new(mode);
+    let rounds = EXEC_BENCH_MIN_RUNS.div_ceil(vectors.len());
+    let runs = vectors.len() * rounds;
+
+    // Each leg is timed three times and scored by its fastest pass:
+    // replays are deterministic, so the minimum is the least-disturbed
+    // estimate of the leg's true cost on a shared CI host (slower
+    // passes only ever add scheduler noise). The first pass doubles as
+    // warmup for the scratch pools and the allocator.
+    let mut time_leg = |f: &mut dyn FnMut()| -> f64 {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let tree_concrete_s = time_leg(&mut || {
+        for _ in 0..rounds {
+            for iv in &vectors {
+                let _ = hotg_lang::run(program, natives, iv, fuel);
+            }
+        }
+    });
+    let vm_concrete_s = time_leg(&mut || {
+        for _ in 0..rounds {
+            for iv in &vectors {
+                let _ = hotg_lang::run_compiled_counted(&cp, iv, fuel);
+            }
+        }
+    });
+    let tree_concolic_s = time_leg(&mut || {
+        for _ in 0..rounds {
+            for iv in &vectors {
+                let _ = execute_opts(&ctx, program, natives, iv, mode, fuel, false);
+            }
+        }
+    });
+    let vm_concolic_s = time_leg(&mut || {
+        for _ in 0..rounds {
+            for iv in &vectors {
+                let _ = execute_compiled_profiled(&ctx, &cp, iv, fuel, profile);
+            }
+        }
+    });
+    // Retired-instruction accounting, outside the timed passes (the
+    // replay is deterministic, so one pass per vector set suffices).
+    let instructions: u64 = vectors
+        .iter()
+        .map(|iv| {
+            let (_, _, n) = hotg_lang::run_compiled_counted(&cp, iv, fuel);
+            n + execute_compiled_profiled(&ctx, &cp, iv, fuel, profile).instructions
+        })
+        .sum::<u64>()
+        * rounds as u64;
+
+    let ratio = |tree: f64, vm: f64| if vm > 0.0 { tree / vm } else { 0.0 };
+    let tree_s = tree_concrete_s + tree_concolic_s;
+    let vm_s = vm_concrete_s + vm_concolic_s;
+    let rps = |s: f64| if s > 0.0 { 2.0 * runs as f64 / s } else { 0.0 };
+    let speedup = ratio(tree_s, vm_s);
+    ExecBenchRow {
+        program: name,
+        vectors: vectors.len(),
+        rounds,
+        runs,
+        concrete_speedup: ratio(tree_concrete_s, vm_concrete_s),
+        concolic_speedup: ratio(tree_concolic_s, vm_concolic_s),
+        tree_rps: rps(tree_s),
+        vm_rps: rps(vm_s),
+        speedup,
+        instructions,
+        tree_s,
+        vm_s,
+    }
+}
+
+fn exec_row_json(r: &ExecBenchRow) -> String {
+    format!(
+        "{{\"program\": {}, \"vectors\": {}, \"rounds\": {}, \"runs\": {}, \
+         \"concrete_speedup\": {:.3}, \"concolic_speedup\": {:.3}, \
+         \"tree_rps\": {:.1}, \"vm_rps\": {:.1}, \"speedup\": {:.3}, \
+         \"instructions\": {}}}",
+        json_str(r.program),
+        r.vectors,
+        r.rounds,
+        r.runs,
+        r.concrete_speedup,
+        r.concolic_speedup,
+        r.tree_rps,
+        r.vm_rps,
+        r.speedup,
+        r.instructions,
+    )
+}
+
 /// Silence the default panic-hook chatter for the chaos legs: injected
 /// worker panics are expected and caught by the driver, so their
 /// payloads (tagged `chaos:`) should not spam stderr.
@@ -712,8 +887,60 @@ fn main() {
     let backend_pass = backend_queries > 0 && backend_rate >= BACKEND_SHORT_CIRCUIT_FLOOR;
     let backend_json: Vec<String> = backend_rows.iter().map(backend_row_json).collect();
 
+    // Execution throughput: the bytecode VMs against the tree-walking
+    // reference interpreters on loop- and call-heavy programs — the
+    // corpus' widest (`fanout`) and loopiest (`crc_guard`) members plus
+    // the §7 lexer application's scanning parser, whose chunk-extraction
+    // loop is the paper's motivating long-running shape. Independent of
+    // --reduced, like the solver replay: it is a CI gate and cheap at
+    // its fixed replay budget.
+    let exec_programs: [(
+        &'static str,
+        (hotg_lang::Program, hotg_lang::NativeRegistry),
+    ); 3] = [
+        ("fanout", corpus::fanout()),
+        ("crc_guard", corpus::crc_guard()),
+        ("lex_scanning", hotg_lexapp::programs::scanning_parser()),
+    ];
+    let exec_rows: Vec<ExecBenchRow> = exec_programs
+        .iter()
+        .map(|(name, (program, natives))| {
+            let row = exec_replay(name, program, natives);
+            eprintln!(
+                "exec {:<16} {} runs/leg ({} vectors × {} rounds): \
+                 {:.0} r/s tree, {:.0} r/s vm, speedup {:.2}x \
+                 (concrete {:.2}x, concolic {:.2}x, {} instructions)",
+                row.program,
+                row.runs,
+                row.vectors,
+                row.rounds,
+                row.tree_rps,
+                row.vm_rps,
+                row.speedup,
+                row.concrete_speedup,
+                row.concolic_speedup,
+                row.instructions,
+            );
+            row
+        })
+        .collect();
+    let exec_tree_s: f64 = exec_rows.iter().map(|r| r.tree_s).sum();
+    let exec_vm_s: f64 = exec_rows.iter().map(|r| r.vm_s).sum();
+    let exec_speedup = if exec_vm_s > 0.0 {
+        exec_tree_s / exec_vm_s
+    } else {
+        0.0
+    };
+    let exec_pass = !exec_rows.is_empty() && exec_speedup >= EXEC_SPEEDUP_FLOOR;
+    eprintln!(
+        "exec combined: {exec_tree_s:.3}s tree, {exec_vm_s:.3}s vm, \
+         speedup {exec_speedup:.2}x{}",
+        if exec_pass { "" } else { "  FAILED (< 2x)" },
+    );
+    let exec_json: Vec<String> = exec_rows.iter().map(exec_row_json).collect();
+
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/5\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/6\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"fold_drift\": {},\n  \
          \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
@@ -722,6 +949,9 @@ fn main() {
          \"rows\": [\n    {}\n  ]}},\n  \
          \"backends\": {{\"technique\": {}, \"cascade\": \"abstract -> dpll(t)\", \
          \"combined_short_circuit_rate\": {:.4}, \"floor\": {:.2}, \"pass\": {}, \
+         \"rows\": [\n    {}\n  ]}},\n  \
+         \"exec\": {{\"mode\": {}, \"baseline\": \"tree-walking-interpreters\", \
+         \"combined_speedup\": {:.3}, \"floor\": {:.2}, \"pass\": {}, \
          \"rows\": [\n    {}\n  ]}},\n  \
          \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
@@ -742,6 +972,11 @@ fn main() {
         BACKEND_SHORT_CIRCUIT_FLOOR,
         backend_pass,
         backend_json.join(",\n    "),
+        json_str("Uninterpreted"),
+        exec_speedup,
+        EXEC_SPEEDUP_FLOOR,
+        exec_pass,
+        exec_json.join(",\n    "),
         json_str(par_technique.name()),
         threads,
         host_threads,
@@ -776,6 +1011,13 @@ fn main() {
              the bench query streams (floor {:.0}%)",
             backend_rate * 100.0,
             BACKEND_SHORT_CIRCUIT_FLOOR * 100.0
+        );
+        failed = true;
+    }
+    if !exec_pass {
+        eprintln!(
+            "campaign-bench: execution-throughput replay at {exec_speedup:.2}x, \
+             below the {EXEC_SPEEDUP_FLOOR}x bytecode-VM floor"
         );
         failed = true;
     }

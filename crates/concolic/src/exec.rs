@@ -17,6 +17,14 @@
 //! ([`hotg_lang::eval_binop`] and the same statement walk), so a concolic
 //! run's branch trace is bit-identical to a plain [`hotg_lang::run`] on
 //! the same inputs — which is what makes divergence detection meaningful.
+//!
+//! The *symbolic* half of the executor — concretization, delayed
+//! concretization, symbolic binops, branch/path-constraint recording,
+//! IOF sampling, and the suppress counter for summarized calls — lives
+//! in [`SymSide`], shared verbatim with the bytecode shadow VM in
+//! [`crate::vm`]. The two execution engines differ only in how they
+//! *drive* that core (AST walk vs. flat bytecode), which is the
+//! bit-identity argument for `DriverConfig::bytecode`.
 
 use crate::context::ConcolicContext;
 use crate::path::PathConstraint;
@@ -25,7 +33,7 @@ use hotg_lang::{
     Param, Program, Stmt, Trace, UnOp,
 };
 use hotg_lang::{CVal, Slot};
-use hotg_logic::{Atom, Formula, Rel, Term};
+use hotg_logic::{Atom, Formula, FuncSym, Rel, Term};
 use hotg_solver::Samples;
 use std::collections::HashMap;
 
@@ -122,6 +130,10 @@ pub struct ConcolicRun {
     pub result: Option<i64>,
     /// Symbolic term of that returned value.
     pub result_term: Option<Term>,
+    /// Bytecode instructions retired producing this run — `0` when the
+    /// run came from the tree-walker (announcement-only accounting; not
+    /// part of a run's observable behavior).
+    pub instructions: u64,
 }
 
 /// A symbolic storage slot.
@@ -170,23 +182,330 @@ impl SymEnv {
 
 /// A symbolic value: integer term or boolean formula.
 #[derive(Clone, Debug)]
-enum Sym {
+pub(crate) enum Sym {
+    /// Integer-valued term.
     I(Term),
+    /// Boolean-valued formula.
     B(Formula),
 }
 
 impl Sym {
-    fn int(self) -> Term {
+    pub(crate) fn int(self) -> Term {
         match self {
             Sym::I(t) => t,
             Sym::B(_) => unreachable!("checker guarantees integer context"),
         }
     }
 
-    fn boolean(self) -> Formula {
+    pub(crate) fn boolean(self) -> Formula {
         match self {
             Sym::B(f) => f,
             Sym::I(_) => unreachable!("checker guarantees boolean context"),
+        }
+    }
+}
+
+/// The symbolic half of a concolic execution, shared verbatim between
+/// the AST walker ([`execute_opts`]) and the bytecode shadow VM
+/// ([`crate::vm`]): path constraints, IOF samples, concretization
+/// policy, branch recording, and the suppress counter for summarized
+/// calls. Because both engines mutate *this* state through *these*
+/// methods at the same points in the same order, their [`ConcolicRun`]s
+/// are bit-identical.
+pub(crate) struct SymSide {
+    pub(crate) mode: SymbolicMode,
+    pub(crate) summarize_calls: bool,
+    /// While > 0, branch-trace and path-constraint recording is
+    /// suppressed (used for the concrete-side execution of summarized
+    /// calls).
+    pub(crate) suppress: usize,
+    pub(crate) trace: Trace,
+    pub(crate) pc: PathConstraint,
+    pub(crate) samples: Samples,
+    pub(crate) concretizations: usize,
+    pub(crate) uf_apps: usize,
+}
+
+impl SymSide {
+    pub(crate) fn new(mode: SymbolicMode, summarize_calls: bool) -> SymSide {
+        SymSide {
+            mode,
+            summarize_calls,
+            suppress: 0,
+            trace: Trace::default(),
+            pc: PathConstraint::new(),
+            samples: Samples::new(),
+            concretizations: 0,
+            uf_apps: 0,
+        }
+    }
+
+    /// Packages the collected symbolic state into a [`ConcolicRun`].
+    pub(crate) fn finish(
+        self,
+        outcome: Outcome,
+        result: Option<i64>,
+        result_term: Option<Term>,
+        instructions: u64,
+    ) -> ConcolicRun {
+        ConcolicRun {
+            outcome,
+            trace: self.trace,
+            pc: self.pc,
+            samples: self.samples,
+            concretizations: self.concretizations,
+            uf_apps: self.uf_apps,
+            result,
+            result_term,
+            instructions,
+        }
+    }
+
+    /// Concretizes a symbolic integer term to its runtime value.
+    ///
+    /// In sound mode this also injects the concretization constraints
+    /// `xᵢ = Iᵢ` for every input variable occurring in the term
+    /// (Figure 1, line 14). In uninterpreted mode it is used only for the
+    /// constructs not representable by uninterpreted functions (symbolic
+    /// array indices), where the same sound pinning applies.
+    pub(crate) fn concretize(&mut self, inputs: &InputVector, term: &Term, value: i64) -> Term {
+        if matches!(term, Term::Int(_)) {
+            return Term::int(value);
+        }
+        self.concretizations += 1;
+        match self.mode {
+            SymbolicMode::UnsoundConcretize => {}
+            SymbolicMode::SoundConcretize
+            | SymbolicMode::SoundConcretizeDelayed
+            | SymbolicMode::Uninterpreted => {
+                for v in term.vars() {
+                    let current = inputs.get(v.index()).expect("input index in range");
+                    self.pc.push_concretization(Formula::atom(Atom::eq(
+                        Term::var(v),
+                        Term::int(current),
+                    )));
+                }
+            }
+        }
+        Term::int(value)
+    }
+
+    /// Delayed sound concretization (§3.3, final remark): replaces every
+    /// uninterpreted application in a branch constraint by its runtime
+    /// value (looked up in the per-run sample table), injecting the
+    /// pinning constraints `xᵢ = Iᵢ` for the inputs the application
+    /// depended on — but only now, when the expression is actually used
+    /// in a constraint. Branch constraints without applications are left
+    /// fully symbolic and remain negatable.
+    pub(crate) fn delayed_concretize(
+        &mut self,
+        ctx: &ConcolicContext,
+        inputs: &InputVector,
+        f: &Formula,
+    ) -> Formula {
+        if f.apps().is_empty() {
+            return f.clone();
+        }
+        // Model for evaluating application values: the actual inputs plus
+        // everything sampled so far this run.
+        let mut model = hotg_logic::Model::new();
+        for (i, v) in ctx.input_vars().iter().enumerate() {
+            model.set_var(*v, hotg_logic::Value::Int(inputs.get(i).expect("input")));
+        }
+        for fs in ctx.sig().funcs() {
+            for (args, out) in self.samples.entries_for(fs) {
+                model.set_func_entry(fs, args.clone(), out);
+            }
+        }
+        let mut out = f.clone();
+        // Innermost applications first; replacing one may expose others.
+        loop {
+            let apps = out.apps();
+            let Some(app) = apps.first() else { break };
+            let value = app
+                .eval(&model)
+                .expect("branch-time application was sampled during execution");
+            self.concretizations += 1;
+            for var in app.vars() {
+                let current = inputs.get(var.index()).expect("input index");
+                self.pc.push_concretization(Formula::atom(Atom::eq(
+                    Term::var(var),
+                    Term::int(current),
+                )));
+            }
+            out = out.replace(app, &Term::int(value));
+        }
+        out
+    }
+
+    /// Records one executed conditional: branch trace, delayed
+    /// concretization, static-taint cross-check, and the oriented path
+    /// constraint — all suppressed inside summarized call bodies.
+    pub(crate) fn record_branch(
+        &mut self,
+        ctx: &ConcolicContext,
+        inputs: &InputVector,
+        id: hotg_lang::BranchId,
+        taken: bool,
+        formula: Formula,
+    ) {
+        if self.suppress != 0 {
+            return;
+        }
+        self.trace.branches.push((id, taken));
+        let mut oriented = if taken { formula } else { formula.negate() };
+        if self.mode == SymbolicMode::SoundConcretizeDelayed {
+            oriented = self.delayed_concretize(ctx, inputs, &oriented);
+        }
+        self.check_static_taint(ctx, id, &oriented);
+        // Entries with concretely-determined conditions are kept
+        // (constraint `true`) so that expected paths line up one-to-one
+        // with the runtime branch trace.
+        self.pc.push_branch(oriented, id, taken);
+    }
+
+    /// Symbolic result of a native ("unknown") call that concretely
+    /// returned `out`: an IOF-sampled uninterpreted application in the
+    /// higher-order modes, a (sound or unsound) concretization otherwise.
+    /// The caller has already pushed the native-call trace entry.
+    pub(crate) fn native_result(
+        &mut self,
+        inputs: &InputVector,
+        fsym: FuncSym,
+        cvals: &[i64],
+        terms: Vec<Term>,
+        out: i64,
+    ) -> Term {
+        match self.mode {
+            SymbolicMode::Uninterpreted | SymbolicMode::SoundConcretizeDelayed => {
+                // Record the IOF sample (Figure 3, line 13) for every
+                // call, including fully concrete ones — the §7 lexer
+                // relies on samples from its hash-table initialization.
+                self.samples.record(fsym, cvals.to_vec(), out);
+                if terms.iter().all(|t| matches!(t, Term::Int(_))) {
+                    Term::int(out)
+                } else {
+                    self.uf_apps += 1;
+                    Term::app(fsym, terms)
+                }
+            }
+            _ => {
+                if terms.iter().all(|t| matches!(t, Term::Int(_))) {
+                    Term::int(out)
+                } else {
+                    let combined = terms.into_iter().fold(Term::int(0), |acc, t| acc + t);
+                    self.concretize(inputs, &combined, out)
+                }
+            }
+        }
+    }
+
+    /// Symbolic result of a summarized defined-function call (§8): the
+    /// IOF sample is recorded and the call becomes an uninterpreted
+    /// application unless fully concrete.
+    pub(crate) fn summarized_result(
+        &mut self,
+        fsym: FuncSym,
+        cvals: &[i64],
+        terms: Vec<Term>,
+        out: i64,
+    ) -> Term {
+        self.samples.record(fsym, cvals.to_vec(), out);
+        if terms.iter().all(|t| matches!(t, Term::Int(_))) {
+            Term::int(out)
+        } else {
+            self.uf_apps += 1;
+            Term::app(fsym, terms)
+        }
+    }
+
+    /// Symbolic result of a binary operation, given both operands'
+    /// symbolic and concrete values and the concrete result.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn symbolic_binop(
+        &mut self,
+        ctx: &ConcolicContext,
+        inputs: &InputVector,
+        op: BinOp,
+        sa: Sym,
+        sb: Sym,
+        ca: CVal,
+        cb: CVal,
+        cv: CVal,
+    ) -> Result<Sym, String> {
+        use hotg_logic::OpKind;
+        if op.is_logical() {
+            let (fa, fb) = (sa.boolean(), sb.boolean());
+            return Ok(Sym::B(match op {
+                BinOp::And => fa.and(fb),
+                BinOp::Or => fa.or(fb),
+                _ => unreachable!(),
+            }));
+        }
+        if op.is_comparison() {
+            let rel = match op {
+                BinOp::Eq => Rel::Eq,
+                BinOp::Ne => Rel::Ne,
+                BinOp::Lt => Rel::Lt,
+                BinOp::Le => Rel::Le,
+                BinOp::Gt => Rel::Gt,
+                BinOp::Ge => Rel::Ge,
+                _ => unreachable!(),
+            };
+            return Ok(Sym::B(Formula::atom(Atom::new(sa.int(), rel, sb.int()))));
+        }
+        let (ta, tb) = (sa.int(), sb.int());
+        let result = cv.int()?;
+        Ok(Sym::I(match op {
+            BinOp::Add => ta + tb,
+            BinOp::Sub => ta - tb,
+            BinOp::Mul if matches!(ta, Term::Int(_)) || matches!(tb, Term::Int(_)) => ta * tb,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                // Unknown instruction: outside the linear theory T.
+                if matches!(ta, Term::Int(_)) && matches!(tb, Term::Int(_)) {
+                    Term::int(result)
+                } else {
+                    match self.mode {
+                        SymbolicMode::Uninterpreted | SymbolicMode::SoundConcretizeDelayed => {
+                            let fsym = ctx.op_sym(op);
+                            self.uf_apps += 1;
+                            self.samples
+                                .record(fsym, vec![ca.int()?, cb.int()?], result);
+                            Term::app(fsym, vec![ta, tb])
+                        }
+                        _ => {
+                            let combined = Term::op(OpKind::Add, vec![ta, tb]);
+                            self.concretize(inputs, &combined, result)
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }))
+    }
+
+    /// Debug-only soundness cross-check: the free input variables of a
+    /// dynamic branch constraint must be covered by the static taint set
+    /// `hotg-analysis` computed for the site. A violation means the
+    /// static analysis under-approximated — which would let the driver
+    /// prune a feasible branch-flip target.
+    fn check_static_taint(
+        &self,
+        ctx: &ConcolicContext,
+        id: hotg_lang::BranchId,
+        oriented: &Formula,
+    ) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let taint = ctx.static_branch_taint(id);
+        for v in oriented.vars() {
+            assert!(
+                taint.contains(&v.index()),
+                "static taint violation at branch {id}: dynamic constraint \
+                 mentions input {} but the static set is {taint:?}",
+                v.index(),
+            );
         }
     }
 }
@@ -238,22 +557,9 @@ struct Executor<'a> {
     natives: &'a NativeRegistry,
     functions: &'a [FuncDef],
     inputs: &'a InputVector,
-    mode: SymbolicMode,
-    /// §8 compositional mode: defined-function calls are abstracted as
-    /// uninterpreted applications (with sampling) instead of being
-    /// inlined symbolically.
-    summarize_calls: bool,
-    /// While > 0, branch-trace and path-constraint recording is
-    /// suppressed (used for the concrete-side execution of summarized
-    /// calls).
-    suppress: usize,
     env: hotg_lang::Env,
     senv: SymEnv,
-    trace: Trace,
-    pc: PathConstraint,
-    samples: Samples,
-    concretizations: usize,
-    uf_apps: usize,
+    sym: SymSide,
 }
 
 /// Runs one concolic execution.
@@ -357,16 +663,9 @@ pub fn execute_opts(
         natives,
         functions: &program.functions,
         inputs,
-        mode,
-        summarize_calls,
-        suppress: 0,
         env,
         senv,
-        trace: Trace::default(),
-        pc: PathConstraint::new(),
-        samples: Samples::new(),
-        concretizations: 0,
-        uf_apps: 0,
+        sym: SymSide::new(mode, summarize_calls),
     };
     let mut fuel = fuel;
     let mut result = None;
@@ -381,94 +680,10 @@ pub fn execute_opts(
         Ok(Flow::Stop(o)) => o,
         Err(msg) => Outcome::RuntimeFault(msg),
     };
-    ConcolicRun {
-        outcome,
-        trace: exec.trace,
-        pc: exec.pc,
-        samples: exec.samples,
-        concretizations: exec.concretizations,
-        uf_apps: exec.uf_apps,
-        result,
-        result_term,
-    }
+    exec.sym.finish(outcome, result, result_term, 0)
 }
 
 impl Executor<'_> {
-    /// Concretizes a symbolic integer term to its runtime value.
-    ///
-    /// In sound mode this also injects the concretization constraints
-    /// `xᵢ = Iᵢ` for every input variable occurring in the term
-    /// (Figure 1, line 14). In uninterpreted mode it is used only for the
-    /// constructs not representable by uninterpreted functions (symbolic
-    /// array indices), where the same sound pinning applies.
-    fn concretize(&mut self, term: &Term, value: i64) -> Term {
-        if matches!(term, Term::Int(_)) {
-            return Term::int(value);
-        }
-        self.concretizations += 1;
-        match self.mode {
-            SymbolicMode::UnsoundConcretize => {}
-            SymbolicMode::SoundConcretize
-            | SymbolicMode::SoundConcretizeDelayed
-            | SymbolicMode::Uninterpreted => {
-                for v in term.vars() {
-                    let current = self.inputs.get(v.index()).expect("input index in range");
-                    self.pc.push_concretization(Formula::atom(Atom::eq(
-                        Term::var(v),
-                        Term::int(current),
-                    )));
-                }
-            }
-        }
-        Term::int(value)
-    }
-
-    /// Delayed sound concretization (§3.3, final remark): replaces every
-    /// uninterpreted application in a branch constraint by its runtime
-    /// value (looked up in the per-run sample table), injecting the
-    /// pinning constraints `xᵢ = Iᵢ` for the inputs the application
-    /// depended on — but only now, when the expression is actually used
-    /// in a constraint. Branch constraints without applications are left
-    /// fully symbolic and remain negatable.
-    fn delayed_concretize(&mut self, f: &Formula) -> Formula {
-        if f.apps().is_empty() {
-            return f.clone();
-        }
-        // Model for evaluating application values: the actual inputs plus
-        // everything sampled so far this run.
-        let mut model = hotg_logic::Model::new();
-        for (i, v) in self.ctx.input_vars().iter().enumerate() {
-            model.set_var(
-                *v,
-                hotg_logic::Value::Int(self.inputs.get(i).expect("input")),
-            );
-        }
-        for fs in self.ctx.sig().funcs() {
-            for (args, out) in self.samples.entries_for(fs) {
-                model.set_func_entry(fs, args.clone(), out);
-            }
-        }
-        let mut out = f.clone();
-        // Innermost applications first; replacing one may expose others.
-        loop {
-            let apps = out.apps();
-            let Some(app) = apps.first() else { break };
-            let value = app
-                .eval(&model)
-                .expect("branch-time application was sampled during execution");
-            self.concretizations += 1;
-            for var in app.vars() {
-                let current = self.inputs.get(var.index()).expect("input index");
-                self.pc.push_concretization(Formula::atom(Atom::eq(
-                    Term::var(var),
-                    Term::int(current),
-                )));
-            }
-            out = out.replace(app, &Term::int(value));
-        }
-        out
-    }
-
     fn eval_both(&mut self, e: &Expr, fuel: &mut u64) -> Result<(CVal, Sym), Halt> {
         Ok(match e {
             Expr::Int(v) => (CVal::Int(*v), Sym::I(Term::int(*v))),
@@ -520,7 +735,7 @@ impl Executor<'_> {
                         _ => return Err(format!("unbound symbolic array `{name}`").into()),
                     };
                     let combined = idx_term + elem_term;
-                    Sym::I(self.concretize(&combined, value))
+                    Sym::I(self.sym.concretize(self.inputs, &combined, value))
                 };
                 (CVal::Int(value), sym)
             }
@@ -542,7 +757,9 @@ impl Executor<'_> {
                 let (ca, sa) = self.eval_both(a, fuel)?;
                 let (cb, sb) = self.eval_both(b, fuel)?;
                 let cv = eval_binop(*op, ca, cb)?;
-                let sym = self.symbolic_binop(*op, sa, sb, ca, cb, cv)?;
+                let sym =
+                    self.sym
+                        .symbolic_binop(self.ctx, self.inputs, *op, sa, sb, ca, cb, cv)?;
                 (cv, sym)
             }
             Expr::Call(name, args) => {
@@ -555,40 +772,20 @@ impl Executor<'_> {
                 }
                 if self.natives.contains(name) {
                     let out = self.natives.call(name, &cvals).map_err(Fault::native)?;
-                    self.trace
+                    self.sym
+                        .trace
                         .native_calls
                         .push((name.clone(), cvals.clone(), out));
                     let fsym = self
                         .ctx
                         .native_sym(name)
                         .ok_or_else(|| format!("native `{name}` not in context"))?;
-                    let sym = match self.mode {
-                        SymbolicMode::Uninterpreted | SymbolicMode::SoundConcretizeDelayed => {
-                            // Record the IOF sample (Figure 3, line 13) for
-                            // every call, including fully concrete ones — the
-                            // §7 lexer relies on samples from its hash-table
-                            // initialization.
-                            self.samples.record(fsym, cvals.clone(), out);
-                            if terms.iter().all(|t| matches!(t, Term::Int(_))) {
-                                Sym::I(Term::int(out))
-                            } else {
-                                self.uf_apps += 1;
-                                Sym::I(Term::app(fsym, terms))
-                            }
-                        }
-                        _ => {
-                            if terms.iter().all(|t| matches!(t, Term::Int(_))) {
-                                Sym::I(Term::int(out))
-                            } else {
-                                let combined =
-                                    terms.into_iter().fold(Term::int(0), |acc, t| acc + t);
-                                Sym::I(self.concretize(&combined, out))
-                            }
-                        }
-                    };
-                    (CVal::Int(out), sym)
+                    let term = self
+                        .sym
+                        .native_result(self.inputs, fsym, &cvals, terms, out);
+                    (CVal::Int(out), Sym::I(term))
                 } else if let Some(def) = self.functions.iter().find(|f| f.name == *name) {
-                    if self.summarize_calls {
+                    if self.sym.summarize_calls {
                         // §8 compositional mode: execute the body
                         // concretely (suppressed recording), abstract the
                         // call as an uninterpreted application, record
@@ -597,20 +794,14 @@ impl Executor<'_> {
                             .ctx
                             .defined_sym(name)
                             .ok_or_else(|| format!("fn `{name}` not in context"))?;
-                        self.suppress += 1;
+                        self.sym.suppress += 1;
                         let concrete_terms: Vec<Term> =
                             cvals.iter().map(|v| Term::int(*v)).collect();
                         let res = self.call_defined(def, &cvals, concrete_terms, fuel);
-                        self.suppress -= 1;
+                        self.sym.suppress -= 1;
                         let (out, _) = res?;
-                        self.samples.record(fsym, cvals.clone(), out);
-                        let sym = if terms.iter().all(|t| matches!(t, Term::Int(_))) {
-                            Sym::I(Term::int(out))
-                        } else {
-                            self.uf_apps += 1;
-                            Sym::I(Term::app(fsym, terms))
-                        };
-                        (CVal::Int(out), sym)
+                        let term = self.sym.summarized_result(fsym, &cvals, terms, out);
+                        (CVal::Int(out), Sym::I(term))
                     } else {
                         // Precise symbolic inlining.
                         let (out, t) = self.call_defined(def, &cvals, terms, fuel)?;
@@ -649,88 +840,6 @@ impl Executor<'_> {
                 format!("fn `{}` terminated without returning a value", def.name),
             ))),
             Flow::Stop(o) => Err(Halt::Stop(o)),
-        }
-    }
-
-    /// Symbolic result of a binary operation, given both operands'
-    /// symbolic and concrete values and the concrete result.
-    fn symbolic_binop(
-        &mut self,
-        op: BinOp,
-        sa: Sym,
-        sb: Sym,
-        ca: CVal,
-        cb: CVal,
-        cv: CVal,
-    ) -> Result<Sym, String> {
-        use hotg_logic::OpKind;
-        if op.is_logical() {
-            let (fa, fb) = (sa.boolean(), sb.boolean());
-            return Ok(Sym::B(match op {
-                BinOp::And => fa.and(fb),
-                BinOp::Or => fa.or(fb),
-                _ => unreachable!(),
-            }));
-        }
-        if op.is_comparison() {
-            let rel = match op {
-                BinOp::Eq => Rel::Eq,
-                BinOp::Ne => Rel::Ne,
-                BinOp::Lt => Rel::Lt,
-                BinOp::Le => Rel::Le,
-                BinOp::Gt => Rel::Gt,
-                BinOp::Ge => Rel::Ge,
-                _ => unreachable!(),
-            };
-            return Ok(Sym::B(Formula::atom(Atom::new(sa.int(), rel, sb.int()))));
-        }
-        let (ta, tb) = (sa.int(), sb.int());
-        let result = cv.int()?;
-        Ok(Sym::I(match op {
-            BinOp::Add => ta + tb,
-            BinOp::Sub => ta - tb,
-            BinOp::Mul if matches!(ta, Term::Int(_)) || matches!(tb, Term::Int(_)) => ta * tb,
-            BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                // Unknown instruction: outside the linear theory T.
-                if matches!(ta, Term::Int(_)) && matches!(tb, Term::Int(_)) {
-                    Term::int(result)
-                } else {
-                    match self.mode {
-                        SymbolicMode::Uninterpreted | SymbolicMode::SoundConcretizeDelayed => {
-                            let fsym = self.ctx.op_sym(op);
-                            self.uf_apps += 1;
-                            self.samples
-                                .record(fsym, vec![ca.int()?, cb.int()?], result);
-                            Term::app(fsym, vec![ta, tb])
-                        }
-                        _ => {
-                            let combined = Term::op(OpKind::Add, vec![ta, tb]);
-                            self.concretize(&combined, result)
-                        }
-                    }
-                }
-            }
-            _ => unreachable!(),
-        }))
-    }
-
-    /// Debug-only soundness cross-check: the free input variables of a
-    /// dynamic branch constraint must be covered by the static taint set
-    /// `hotg-analysis` computed for the site. A violation means the
-    /// static analysis under-approximated — which would let the driver
-    /// prune a feasible branch-flip target.
-    fn check_static_taint(&self, id: hotg_lang::BranchId, oriented: &Formula) {
-        if !cfg!(debug_assertions) {
-            return;
-        }
-        let taint = self.ctx.static_branch_taint(id);
-        for v in oriented.vars() {
-            assert!(
-                taint.contains(&v.index()),
-                "static taint violation at branch {id}: dynamic constraint \
-                 mentions input {} but the static set is {taint:?}",
-                v.index(),
-            );
         }
     }
 
@@ -774,7 +883,7 @@ impl Executor<'_> {
                         // Symbolic store index: pin the index (sound in
                         // all modes but unsound-concretize) and store the
                         // value under the concrete cell.
-                        let _ = self.concretize(&idx_term, i);
+                        let _ = self.sym.concretize(self.inputs, &idx_term, i);
                     }
                     match self.env.get_mut(name) {
                         Some(Slot::Array(items)) => {
@@ -809,18 +918,8 @@ impl Executor<'_> {
                     let (c, sym) = eval_or_flow!(self.eval_both(cond, fuel));
                     let taken = c.bool()?;
                     let formula = sym.boolean();
-                    if self.suppress == 0 {
-                        self.trace.branches.push((*id, taken));
-                        let mut oriented = if taken { formula } else { formula.negate() };
-                        if self.mode == SymbolicMode::SoundConcretizeDelayed {
-                            oriented = self.delayed_concretize(&oriented);
-                        }
-                        self.check_static_taint(*id, &oriented);
-                        // Entries with concretely-determined conditions are
-                        // kept (constraint `true`) so that expected paths line
-                        // up one-to-one with the runtime branch trace.
-                        self.pc.push_branch(oriented, *id, taken);
-                    }
+                    self.sym
+                        .record_branch(self.ctx, self.inputs, *id, taken, formula);
                     self.env.push_scope();
                     self.senv.push_scope();
                     let flow = if taken {
@@ -842,15 +941,8 @@ impl Executor<'_> {
                     let (c, sym) = eval_or_flow!(self.eval_both(cond, fuel));
                     let taken = c.bool()?;
                     let formula = sym.boolean();
-                    if self.suppress == 0 {
-                        self.trace.branches.push((*id, taken));
-                        let mut oriented = if taken { formula } else { formula.negate() };
-                        if self.mode == SymbolicMode::SoundConcretizeDelayed {
-                            oriented = self.delayed_concretize(&oriented);
-                        }
-                        self.check_static_taint(*id, &oriented);
-                        self.pc.push_branch(oriented, *id, taken);
-                    }
+                    self.sym
+                        .record_branch(self.ctx, self.inputs, *id, taken, formula);
                     if !taken {
                         break;
                     }

@@ -16,6 +16,12 @@
 //!
 //! The directed-search drivers that turn these pieces into the paper's
 //! four test-generation techniques live in `hotg-core`.
+//!
+//! Two engines produce identical runs: the AST tree-walker
+//! ([`execute_profiled`], the reference semantics) and the bytecode
+//! shadow VM ([`execute_compiled_profiled`], the campaign fast path over
+//! a [`hotg_lang::CompiledProgram`]). Both drive the same symbolic core,
+//! so their [`ConcolicRun`]s are bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,10 +29,12 @@
 mod context;
 mod exec;
 mod path;
+pub mod vm;
 
 pub use context::ConcolicContext;
 pub use exec::{execute, execute_opts, execute_profiled, ConcolicRun, ExecProfile, SymbolicMode};
 pub use path::{diverged, EntryKind, PathConstraint, PathConstraintDisplay, PathEntry};
+pub use vm::{execute_compiled_profiled, execute_compiled_with_scratch, ConcolicScratch};
 
 #[cfg(test)]
 mod tests;

@@ -133,6 +133,17 @@ pub struct DriverConfig {
     /// initial `IOF` table. Sound — the analysis over-approximates, so
     /// only targets no execution can reach are dropped.
     pub static_pruning: bool,
+    /// Execute campaign runs on the bytecode VMs: the driver compiles
+    /// the program once ([`hotg_lang::compile`]) and every concrete and
+    /// concolic run dispatches flat bytecode instead of walking the AST.
+    /// Behaviour-invisible by construction — the VMs charge fuel at the
+    /// tree-walkers' exact points and drive the same symbolic core, so
+    /// reports are bit-identical either way (only throughput and the
+    /// announcement-only `ExecStats` telemetry change). Programs that
+    /// fail the static checker fall back to the tree-walkers
+    /// automatically. Default `true`; turn off to A/B the reference
+    /// interpreter.
+    pub bytecode: bool,
     /// Worker threads for the generational directed search. Each
     /// generation's targets are solved and executed concurrently against a
     /// snapshot of the sample table, and merged back in deterministic
@@ -204,6 +215,7 @@ impl Default for DriverConfig {
             initial_inputs: None,
             seed_corpus: Vec::new(),
             static_pruning: true,
+            bytecode: true,
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -279,6 +291,9 @@ mod tests {
         assert!(c.random_range.0 <= c.random_range.1);
         assert!(c.cross_run_samples);
         assert!(c.static_pruning);
+        // The bytecode fast path is on by default: behaviour-invisible
+        // (bit-identical reports), only faster.
+        assert!(c.bytecode);
         assert!(c.threads >= 1);
         // Resilience features default to deterministic behaviour: no
         // deadlines, no escalation retries, no fault injection — only the

@@ -29,7 +29,7 @@ use crate::report::Report;
 use crate::strategy;
 use hotg_analysis::{analyze, AnalysisResult};
 use hotg_concolic::ConcolicContext;
-use hotg_lang::{NativeRegistry, Program};
+use hotg_lang::{CompiledProgram, NativeRegistry, Program};
 use hotg_logic::LogicArena;
 use std::sync::Arc;
 
@@ -46,6 +46,11 @@ pub struct Driver<'p> {
     /// it, and two concurrent drivers in one process get disjoint id
     /// spaces and share no interned allocations.
     arena: Arc<LogicArena>,
+    /// The program lowered to bytecode, compiled once per driver when
+    /// [`DriverConfig::bytecode`] is on. `None` when the fast path is
+    /// disabled or the program fails the static checker — campaigns then
+    /// run on the reference tree-walkers with identical results.
+    compiled: Option<CompiledProgram>,
 }
 
 impl<'p> Driver<'p> {
@@ -55,6 +60,10 @@ impl<'p> Driver<'p> {
         natives: &'p NativeRegistry,
         config: DriverConfig,
     ) -> Driver<'p> {
+        let compiled = config
+            .bytecode
+            .then(|| hotg_lang::compile(program, natives).ok())
+            .flatten();
         Driver {
             program,
             natives,
@@ -62,6 +71,7 @@ impl<'p> Driver<'p> {
             analysis: analyze(program),
             config,
             arena: Arc::new(LogicArena::new()),
+            compiled,
         }
     }
 
@@ -78,6 +88,13 @@ impl<'p> Driver<'p> {
     /// The driver-owned term/formula arena.
     pub fn arena(&self) -> &Arc<LogicArena> {
         &self.arena
+    }
+
+    /// The once-per-driver compiled program the campaign VMs execute;
+    /// `None` when [`DriverConfig::bytecode`] is off or the program did
+    /// not compile (tree-walker fallback).
+    pub fn compiled(&self) -> Option<&CompiledProgram> {
+        self.compiled.as_ref()
     }
 
     /// Runs a campaign with the given technique and returns its report.
@@ -101,6 +118,8 @@ impl<'p> Driver<'p> {
             analysis: &self.analysis,
             config: &self.config,
             arena: &self.arena,
+            compiled: self.compiled.as_ref(),
+            exec: Default::default(),
         };
         let mut report = engine.run(strategy::for_technique(technique), sink);
         report.elapsed = start.elapsed();

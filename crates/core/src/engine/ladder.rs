@@ -9,7 +9,7 @@ use super::outcome::{Job, TargetOutcome};
 use super::Engine;
 use crate::report::{DegradationReason, DegradationRecord, Origin};
 use crate::strategy::Strategy;
-use hotg_concolic::{execute_profiled, ExecProfile};
+use hotg_concolic::ExecProfile;
 use hotg_lang::InputVector;
 use hotg_logic::Value;
 use hotg_solver::{SmtResult, SmtSession, SmtSolver};
@@ -83,12 +83,8 @@ impl Engine<'_> {
             // The rung re-derives the flip query under the demoted
             // strategy's mode; call summarization follows the campaign
             // strategy so the re-executed parent is comparable.
-            let parent = execute_profiled(
-                self.ctx,
-                self.program,
-                self.natives,
+            let parent = self.execute_concolic(
                 &InputVector::new(job.target.parent_inputs.clone()),
-                self.config.fuel,
                 ExecProfile {
                     mode: rung_strategy.profile().mode,
                     summarize_calls: campaign_profile.summarize_calls,

@@ -41,8 +41,11 @@ use crate::events::{CampaignEvent, EventSink, JsonlSink};
 use crate::report::{Origin, Report, RunRecord};
 use crate::strategy::{Strategy, TargetCx};
 use hotg_analysis::AnalysisResult;
-use hotg_concolic::{diverged, execute_profiled, ConcolicContext, ExecProfile};
-use hotg_lang::{BranchId, InputVector, NativeRegistry, Program};
+use hotg_concolic::{
+    diverged, execute_compiled_profiled, execute_profiled, ConcolicContext, ConcolicRun,
+    ExecProfile,
+};
+use hotg_lang::{BranchId, CompiledProgram, InputVector, NativeRegistry, Program};
 use hotg_logic::LogicArena;
 use hotg_logic::{Formula, Var};
 use hotg_solver::{
@@ -53,6 +56,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The shared campaign engine: borrows the program, the symbolic
@@ -67,6 +71,26 @@ pub(crate) struct Engine<'a> {
     /// The campaign's term/formula arena (owned by the driver, never
     /// global): all solver instances of this campaign intern through it.
     pub(crate) arena: &'a Arc<LogicArena>,
+    /// The driver's once-compiled bytecode; `None` runs the campaign on
+    /// the reference tree-walkers (identical reports, lower throughput).
+    pub(crate) compiled: Option<&'a CompiledProgram>,
+    /// Execution-layer telemetry for this campaign, summed across worker
+    /// threads and announced once as [`CampaignEvent::ExecStats`].
+    pub(crate) exec: ExecCounters,
+}
+
+/// Atomic execution-telemetry counters: workers bump them from run
+/// helpers ([`Engine::run_concrete`], [`Engine::execute_concolic`]); the
+/// totals are announcement-only (never folded into the report), so the
+/// relaxed ordering is fine.
+#[derive(Debug, Default)]
+pub(crate) struct ExecCounters {
+    /// Bytecode instructions retired across all VM runs.
+    pub(crate) instructions: AtomicU64,
+    /// Runs executed on the bytecode VMs (concrete or concolic).
+    pub(crate) vm_runs: AtomicU64,
+    /// Runs executed by the tree-walkers (fallback or `bytecode: false`).
+    pub(crate) tree_runs: AtomicU64,
 }
 
 /// The engine's event funnel: every event is folded into the report
@@ -124,8 +148,69 @@ impl<'a> Engine<'a> {
         } else {
             self.random_campaign(&mut em);
         }
+        em.emit(CampaignEvent::ExecStats {
+            instructions: self.exec.instructions.load(Ordering::Relaxed),
+            compiled_blocks: self.compiled.map_or(0, |cp| cp.blocks.len()),
+            vm_runs: self.exec.vm_runs.load(Ordering::Relaxed),
+            tree_runs: self.exec.tree_runs.load(Ordering::Relaxed),
+        });
         em.emit(CampaignEvent::CampaignFinished);
         em.report
+    }
+
+    /// One concrete run: bytecode VM when a compiled program is
+    /// available, reference tree-walker otherwise. Identical `(Outcome,
+    /// Trace)` either way — only the telemetry counters differ.
+    pub(crate) fn run_concrete(
+        &self,
+        inputs: &InputVector,
+    ) -> (hotg_lang::Outcome, hotg_lang::Trace) {
+        match self.compiled {
+            Some(cp) => {
+                let (outcome, trace, retired) =
+                    hotg_lang::run_compiled_counted(cp, inputs, self.config.fuel);
+                self.exec.instructions.fetch_add(retired, Ordering::Relaxed);
+                self.exec.vm_runs.fetch_add(1, Ordering::Relaxed);
+                (outcome, trace)
+            }
+            None => {
+                self.exec.tree_runs.fetch_add(1, Ordering::Relaxed);
+                hotg_lang::run(self.program, self.natives, inputs, self.config.fuel)
+            }
+        }
+    }
+
+    /// One concolic run: shadow VM when a compiled program is available,
+    /// reference tree-walker otherwise. Both drive the same symbolic
+    /// core, so the returned [`ConcolicRun`] is bit-identical either way
+    /// (the `instructions` field is telemetry, not behaviour).
+    pub(crate) fn execute_concolic(
+        &self,
+        inputs: &InputVector,
+        profile: ExecProfile,
+    ) -> ConcolicRun {
+        match self.compiled {
+            Some(cp) => {
+                let run =
+                    execute_compiled_profiled(self.ctx, cp, inputs, self.config.fuel, profile);
+                self.exec
+                    .instructions
+                    .fetch_add(run.instructions, Ordering::Relaxed);
+                self.exec.vm_runs.fetch_add(1, Ordering::Relaxed);
+                run
+            }
+            None => {
+                self.exec.tree_runs.fetch_add(1, Ordering::Relaxed);
+                execute_profiled(
+                    self.ctx,
+                    self.program,
+                    self.natives,
+                    inputs,
+                    self.config.fuel,
+                    profile,
+                )
+            }
+        }
     }
 
     /// The campaign-wide wall-clock cutoff, fixed at campaign start.
@@ -165,12 +250,7 @@ impl<'a> Engine<'a> {
             } else {
                 self.random_inputs(&mut rng)
             };
-            let (outcome, trace) = hotg_lang::run(
-                self.program,
-                self.natives,
-                &InputVector::new(inputs.clone()),
-                self.config.fuel,
-            );
+            let (outcome, trace) = self.run_concrete(&InputVector::new(inputs.clone()));
             let outcome = if self.chaos_interp_fault(&inputs) {
                 em.emit(CampaignEvent::FaultInjected {
                     site: FaultSite::InterpFault,
@@ -208,14 +288,7 @@ impl<'a> Engine<'a> {
         expected: Option<&[(BranchId, bool)]>,
         profile: ExecProfile,
     ) -> WorkerRun {
-        let run = execute_profiled(
-            self.ctx,
-            self.program,
-            self.natives,
-            &InputVector::new(inputs.clone()),
-            self.config.fuel,
-            profile,
-        );
+        let run = self.execute_concolic(&InputVector::new(inputs.clone()), profile);
         // Chaos: replace the outcome with a synthetic interpreter fault.
         // The divergence flag is cleared (an injected fault is not a
         // soundness verdict on the technique) and the run's branch-flip

@@ -162,6 +162,25 @@ pub enum CampaignEvent {
         /// Queries answered with a forced model without any DPLL(T) work.
         sat_short_circuits: u64,
     },
+    /// Execution-layer telemetry, emitted once at the end of every
+    /// campaign. Announcement-only: not folded into the report — which
+    /// engine ran the program is behaviour-invisible by construction
+    /// (the bytecode VMs produce bit-identical runs to the
+    /// tree-walkers), so throughput accounting is observability, not a
+    /// campaign result.
+    ExecStats {
+        /// Bytecode instructions retired across all VM runs of the
+        /// campaign (`0` on the tree-walker fallback).
+        instructions: u64,
+        /// Code blocks in the campaign's compiled program — defined
+        /// functions plus the program body; `0` when no compiled
+        /// program was available.
+        compiled_blocks: usize,
+        /// Runs executed on the bytecode VMs (concrete or concolic).
+        vm_runs: u64,
+        /// Runs executed by the reference tree-walkers.
+        tree_runs: u64,
+    },
     /// The campaign stopped early because
     /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
     /// expired.
@@ -193,6 +212,7 @@ impl CampaignEvent {
             CampaignEvent::CacheStats { .. } => "cache_stats",
             CampaignEvent::SolverSessionStats { .. } => "solver_session_stats",
             CampaignEvent::BackendStats { .. } => "backend_stats",
+            CampaignEvent::ExecStats { .. } => "exec_stats",
             CampaignEvent::CampaignTimedOut => "campaign_timed_out",
             CampaignEvent::CampaignFinished => "campaign_finished",
         }
@@ -285,6 +305,17 @@ impl CampaignEvent {
                      \"valid_short_circuits\":{valid_short_circuits},\
                      \"sat_short_circuits\":{sat_short_circuits}",
                     json_str(backend)
+                ));
+            }
+            CampaignEvent::ExecStats {
+                instructions,
+                compiled_blocks,
+                vm_runs,
+                tree_runs,
+            } => {
+                s.push_str(&format!(
+                    ",\"instructions\":{instructions},\"compiled_blocks\":{compiled_blocks},\
+                     \"vm_runs\":{vm_runs},\"tree_runs\":{tree_runs}"
                 ));
             }
             CampaignEvent::SitePresampled

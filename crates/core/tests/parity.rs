@@ -15,7 +15,9 @@
 //!
 //! Regenerate with `HOTG_BLESS=1 cargo test -p hotg-core --test parity`.
 
-use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
+use hotg_core::{
+    fold_report, CampaignEvent, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique,
+};
 use hotg_lang::corpus;
 use std::fmt::Write as _;
 use std::sync::Once;
@@ -260,6 +262,140 @@ fn digests_are_thread_count_invariant() {
         assert_eq!(
             cells[0].1, cells[1].1,
             "{key}: digests differ across thread counts"
+        );
+    }
+}
+
+/// The bytecode execution layer is report-invisible: for every program
+/// × technique, a campaign on the compiled VMs (the default) produces
+/// the bit-identical canonical report of one on the reference
+/// tree-walkers. The flag may only change throughput (and the
+/// announcement-only `ExecStats` telemetry), never a single run record,
+/// counter, or degradation rung — the campaign-level capstone of the
+/// per-run differential suites in `hotg-lang` and `hotg-concolic`.
+#[test]
+fn bytecode_is_report_invisible() {
+    quiet_injected_panics();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            // Chaos leg included: injected interpreter faults and worker
+            // panics key off inputs/paths, which must be engine-independent.
+            for chaos in [None, Some(3)] {
+                let on = combo_config(width, 1, chaos);
+                let mut off = combo_config(width, 1, chaos);
+                off.bytecode = false;
+                let r_on = Driver::new(&program, &natives, on).run(technique);
+                let r_off = Driver::new(&program, &natives, off).run(technique);
+                assert_eq!(
+                    canonical(&r_on),
+                    canonical(&r_off),
+                    "{name}/{technique}/chaos-{chaos:?}: the bytecode VM changed the report"
+                );
+            }
+        }
+    }
+}
+
+/// `ExecStats` is announcement-only: every campaign emits exactly one,
+/// immediately before `CampaignFinished`, and the report fold ignores it
+/// — mirroring the `BackendStats`/`SolverSessionStats` contract. Also
+/// pins the run-split accounting: with the default config every run
+/// executes on a VM; with `bytecode: false` every run tree-walks.
+#[test]
+fn exec_stats_is_report_invisible() {
+    let (program, natives) = corpus::fanout();
+    let width = program.input_width();
+    for bytecode in [true, false] {
+        let config = DriverConfig {
+            bytecode,
+            ..combo_config(width, 1, None)
+        };
+        let driver = Driver::new(&program, &natives, config);
+        let mut log = EventLog::new();
+        let report = driver.run_with_sink(Technique::HigherOrder, &mut log);
+        let events = log.events();
+        let stats: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::ExecStats { .. }))
+            .collect();
+        assert_eq!(stats.len(), 1, "one ExecStats per campaign");
+        assert!(
+            matches!(
+                &events[events.len() - 2..],
+                [
+                    CampaignEvent::ExecStats { .. },
+                    CampaignEvent::CampaignFinished
+                ]
+            ),
+            "ExecStats precedes CampaignFinished"
+        );
+        let CampaignEvent::ExecStats {
+            instructions,
+            compiled_blocks,
+            vm_runs,
+            tree_runs,
+        } = stats[0]
+        else {
+            unreachable!()
+        };
+        let total = report.total_runs() as u64;
+        if bytecode {
+            assert_eq!(*vm_runs, total, "every run on the VM");
+            assert_eq!(*tree_runs, 0);
+            assert!(*instructions > 0, "instructions retired");
+            assert!(*compiled_blocks > 0, "compiled program present");
+        } else {
+            assert_eq!(*tree_runs, total, "every run tree-walked");
+            assert_eq!(*vm_runs, 0);
+            assert_eq!(*instructions, 0);
+            assert_eq!(*compiled_blocks, 0);
+        }
+        // The fold ignores the event: replaying the stream reconstructs
+        // the report whether or not ExecStats is filtered out.
+        let folded_all = fold_report(events.iter());
+        let folded_without = fold_report(
+            events
+                .iter()
+                .filter(|e| !matches!(e, CampaignEvent::ExecStats { .. })),
+        );
+        assert_eq!(canonical(&folded_all), canonical(&report));
+        assert_eq!(canonical(&folded_without), canonical(&report));
+    }
+}
+
+/// Bytecode × resilience interaction: with chaos injection *and* a
+/// (generous, never-firing) target/campaign deadline configured, the VM
+/// and tree-walker campaigns still agree bit-for-bit — the deadline
+/// plumbing and chaos keys observe inputs and paths, not the engine.
+#[test]
+fn bytecode_survives_chaos_and_deadlines() {
+    quiet_injected_panics();
+    let (program, natives) = corpus::budget_cliff();
+    let width = program.input_width();
+    for technique in [Technique::DartSound, Technique::HigherOrder] {
+        let mk = |bytecode: bool| DriverConfig {
+            bytecode,
+            fault_plan: Some(FaultPlan::uniform(7, 0.3)),
+            target_deadline: Some(Duration::from_secs(30)),
+            campaign_deadline: Some(Duration::from_secs(120)),
+            // Tight statement budget: some runs must hit the fuel cliff,
+            // so the engines also agree on mid-loop `OutOfFuel` stops.
+            fuel: 150,
+            max_runs: 12,
+            ..DriverConfig::with_initial(vec![0; width])
+        };
+        let r_on = Driver::new(&program, &natives, mk(true)).run(technique);
+        let r_off = Driver::new(&program, &natives, mk(false)).run(technique);
+        assert_eq!(
+            canonical(&r_on),
+            canonical(&r_off),
+            "{technique}: chaos+deadline campaign diverged across engines"
+        );
+        assert!(
+            r_on.total_runs() > 0,
+            "{technique}: campaign executed under chaos+deadlines"
         );
     }
 }

@@ -61,6 +61,12 @@ impl NativeRegistry {
         self.fns.contains_key(name)
     }
 
+    /// Looks up a registered implementation and its arity (used by the
+    /// bytecode compiler to resolve call sites once per campaign).
+    pub fn lookup(&self, name: &str) -> Option<(usize, NativeImpl)> {
+        self.fns.get(name).map(|(a, f)| (*a, Arc::clone(f)))
+    }
+
     /// Calls a registered function.
     ///
     /// # Errors

@@ -15,8 +15,9 @@
 //!   at run time, opaque to symbolic reasoning.
 //!
 //! The crate provides the lexer, parser, static checker, a concrete
-//! interpreter with branch/native-call tracing, and [`corpus`] — every
-//! example program from the paper.
+//! interpreter with branch/native-call tracing, a bytecode fast path
+//! ([`compile`] once per campaign, execute with [`vm`]), and [`corpus`]
+//! — every example program from the paper.
 //!
 //! # Example
 //!
@@ -34,18 +35,22 @@
 
 pub mod ast;
 pub mod check;
+pub mod compile;
 pub mod corpus;
 pub mod diag;
 pub mod interp;
 pub mod parser;
 pub mod pretty;
 pub mod token;
+pub mod vm;
 
 pub use ast::{stmt_ids, BinOp, BranchId, Expr, FuncDef, NativeDecl, Param, Program, Stmt, UnOp};
 pub use check::{check, CheckError};
+pub use compile::{compile, CompileError, CompiledProgram, Instr};
 pub use diag::{DiagCode, Diagnostic, Severity, Span, SpanTable, StmtId};
 pub use interp::{
     call_function, eval_binop, eval_expr, run, CVal, Env, EvalError, Fault, FaultKind, InputVector,
     NativeRegistry, Outcome, Slot, Trace,
 };
 pub use parser::{parse, ParseError};
+pub use vm::{run_compiled, run_compiled_counted};
