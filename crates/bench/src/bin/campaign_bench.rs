@@ -30,7 +30,10 @@ use hotg_bench::paper_examples;
 use hotg_concolic::{
     execute_compiled_profiled, execute_opts, ConcolicContext, ExecProfile, SymbolicMode,
 };
-use hotg_core::{fold_report, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique};
+use hotg_core::{
+    fold_report, Driver, DriverConfig, EventLog, FaultPlan, FsyncPolicy, Report, Technique,
+    TraceConfig,
+};
 use hotg_lang::{compile, corpus, InputVector};
 use hotg_logic::{Formula, LogicArena};
 use hotg_solver::{SmtConfig, SmtSession, SmtSolver};
@@ -575,7 +578,7 @@ fn exec_replay(
     // estimate of the leg's true cost on a shared CI host (slower
     // passes only ever add scheduler noise). The first pass doubles as
     // warmup for the scratch pools and the allocator.
-    let mut time_leg = |f: &mut dyn FnMut()| -> f64 {
+    let time_leg = |f: &mut dyn FnMut()| -> f64 {
         (0..3)
             .map(|_| {
                 let start = Instant::now();
@@ -660,6 +663,229 @@ fn exec_row_json(r: &ExecBenchRow) -> String {
         r.vm_rps,
         r.speedup,
         r.instructions,
+    )
+}
+
+/// Trace-overhead ceiling for the default (`every-generation`) fsync
+/// row of the resume section: writing the durable trace must cost no
+/// more than this much extra campaign wall time.
+const RESUME_OVERHEAD_CEILING_PCT: f64 = 5.0;
+
+/// One fsync policy's trace-overhead measurement.
+struct ResumeBenchRow {
+    fsync: FsyncPolicy,
+    wall_ms: f64,
+    overhead_pct: f64,
+    trace_bytes: u64,
+    frames: usize,
+}
+
+/// Crash-recovery measurement: the `every-generation` trace truncated
+/// at ~60% of its frames, resumed, and checked for report parity.
+struct ResumeRecovery {
+    crash_frame: usize,
+    frames: usize,
+    recovery_ms: f64,
+    events_replayed: usize,
+    parity: bool,
+}
+
+/// Deterministic rendering of the result-pinned report fields — the
+/// bench-side equivalent of the parity suite's canonical form (elapsed,
+/// the cache hit/miss split, and the trace-I/O telemetry excluded).
+fn report_fingerprint(r: &Report) -> String {
+    format!(
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.technique,
+        r.program,
+        r.runs,
+        r.errors,
+        r.coverage,
+        r.generation_widths,
+        r.degradations,
+        r.faults_injected,
+        (
+            r.divergences,
+            r.probes,
+            r.solver_calls,
+            r.rejected_targets,
+            r.targets_pruned_static,
+            r.presampled_sites,
+            r.branch_sites,
+        ),
+        (
+            r.solver_errors,
+            r.targets_degraded,
+            r.targets_faulted,
+            r.budget_escalations,
+            r.fuel_exhausted_runs,
+            r.campaign_timed_out,
+        ),
+    )
+}
+
+/// Frame count of a durable trace file (header frame excluded), walking
+/// the length prefixes.
+fn trace_frames(path: &std::path::Path) -> usize {
+    let data = std::fs::read(path).unwrap_or_default();
+    let mut off = 8usize;
+    let mut frames = 0usize;
+    while off + 8 <= data.len() {
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        if off + 8 + len > data.len() {
+            break;
+        }
+        off += 8 + len;
+        frames += 1;
+    }
+    frames.saturating_sub(1)
+}
+
+/// Byte offset just past event frame `k` (frame 0 is the header).
+fn trace_cut_at(path: &std::path::Path, k: usize) -> u64 {
+    let data = std::fs::read(path).expect("read trace");
+    let mut off = 8usize;
+    let mut frame = 0usize;
+    while off + 8 <= data.len() {
+        let len = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        off += 8 + len;
+        if frame == k {
+            return off as u64;
+        }
+        frame += 1;
+    }
+    data.len() as u64
+}
+
+/// Measures the durable-trace cost and crash recovery on one
+/// solver-heavy campaign (`crc_guard` × HigherOrder, fixed 40-run
+/// budget): campaign wall time without a trace (best of three) versus
+/// with a trace under each fsync policy, then a crash at ~60% of the
+/// recorded frames resumed back to a full report, timed and checked for
+/// bit-identical parity.
+fn resume_bench() -> (f64, Vec<ResumeBenchRow>, ResumeRecovery, bool) {
+    let (program, natives) = corpus::crc_guard();
+    let width = program.input_width();
+    let technique = Technique::HigherOrder;
+    let best_of = |f: &mut dyn FnMut() -> Report| -> (Report, f64) {
+        let mut best = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let r = f();
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            report = Some(r);
+        }
+        (report.expect("three passes ran"), best)
+    };
+
+    let (baseline_report, baseline_ms) =
+        best_of(&mut || Driver::new(&program, &natives, config(width, 40, 1)).run(technique));
+    let want = report_fingerprint(&baseline_report);
+
+    let dir = std::env::temp_dir().join(format!("hotg-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir bench tempdir");
+    let mut rows = Vec::new();
+    for fsync in [
+        FsyncPolicy::EveryEvent,
+        FsyncPolicy::EveryGeneration,
+        FsyncPolicy::Close,
+    ] {
+        let path = dir.join(format!("resume-{}.trace", fsync.name()));
+        let (r, wall_ms) = best_of(&mut || {
+            let cfg = DriverConfig {
+                trace: Some(TraceConfig {
+                    fsync,
+                    ..TraceConfig::new(&path)
+                }),
+                ..config(width, 40, 1)
+            };
+            Driver::new(&program, &natives, cfg).run(technique)
+        });
+        assert_eq!(
+            want,
+            report_fingerprint(&r),
+            "durable trace perturbed the campaign under fsync={}",
+            fsync.name()
+        );
+        let trace_bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+        let overhead_pct = if baseline_ms > 0.0 {
+            ((wall_ms - baseline_ms) / baseline_ms * 100.0).max(0.0)
+        } else {
+            0.0
+        };
+        rows.push(ResumeBenchRow {
+            fsync,
+            wall_ms,
+            overhead_pct,
+            trace_bytes,
+            frames: trace_frames(&path),
+        });
+        eprintln!(
+            "resume fsync={:<16} {wall_ms:>7.1}ms (+{overhead_pct:.1}% vs \
+             {baseline_ms:.1}ms untraced), {trace_bytes} trace bytes",
+            fsync.name()
+        );
+    }
+
+    // Crash at ~60% of the every-generation trace and resume.
+    let trace_path = dir.join(format!(
+        "resume-{}.trace",
+        FsyncPolicy::EveryGeneration.name()
+    ));
+    let frames = trace_frames(&trace_path);
+    let crash_frame = frames * 6 / 10;
+    let full = std::fs::read(&trace_path).expect("read trace");
+    let crash_path = dir.join("resume-crash.trace");
+    std::fs::write(
+        &crash_path,
+        &full[..trace_cut_at(&trace_path, crash_frame) as usize],
+    )
+    .expect("write crashed trace");
+    let cfg = DriverConfig {
+        trace: Some(TraceConfig::new(&crash_path)),
+        ..config(width, 40, 1)
+    };
+    let driver = Driver::new(&program, &natives, cfg);
+    let start = Instant::now();
+    let resumed = driver
+        .resume_with_sink(technique, &mut hotg_core::NullSink)
+        .expect("resume from crashed trace");
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    let parity = report_fingerprint(&resumed.report) == want;
+    let recovery = ResumeRecovery {
+        crash_frame,
+        frames,
+        recovery_ms,
+        events_replayed: resumed.recovery.events_replayed,
+        parity,
+    };
+    eprintln!(
+        "resume recovery: crash at frame {crash_frame}/{frames}, resumed in \
+         {recovery_ms:.1}ms ({} events replayed), parity {parity}",
+        recovery.events_replayed,
+    );
+    let every_gen_ok = rows
+        .iter()
+        .find(|r| r.fsync == FsyncPolicy::EveryGeneration)
+        .is_some_and(|r| r.overhead_pct <= RESUME_OVERHEAD_CEILING_PCT);
+    let pass = parity && every_gen_ok;
+    for row in &rows {
+        let _ = std::fs::remove_file(dir.join(format!("resume-{}.trace", row.fsync.name())));
+    }
+    let _ = std::fs::remove_file(&crash_path);
+    (baseline_ms, rows, recovery, pass)
+}
+
+fn resume_row_json(r: &ResumeBenchRow) -> String {
+    format!(
+        "{{\"fsync\": {}, \"wall_ms\": {:.3}, \"overhead_pct\": {:.2}, \
+         \"trace_bytes\": {}, \"frames\": {}}}",
+        json_str(r.fsync.name()),
+        r.wall_ms,
+        r.overhead_pct,
+        r.trace_bytes,
+        r.frames,
     )
 }
 
@@ -939,8 +1165,14 @@ fn main() {
     );
     let exec_json: Vec<String> = exec_rows.iter().map(exec_row_json).collect();
 
+    // Durable-trace overhead and crash recovery (crc_guard ×
+    // HigherOrder, fixed 40-run budget, independent of --reduced: a CI
+    // gate like the solver and exec replays).
+    let (resume_baseline_ms, resume_rows, resume_recovery, resume_pass) = resume_bench();
+    let resume_json: Vec<String> = resume_rows.iter().map(resume_row_json).collect();
+
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/6\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/7\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"fold_drift\": {},\n  \
          \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
@@ -953,6 +1185,11 @@ fn main() {
          \"exec\": {{\"mode\": {}, \"baseline\": \"tree-walking-interpreters\", \
          \"combined_speedup\": {:.3}, \"floor\": {:.2}, \"pass\": {}, \
          \"rows\": [\n    {}\n  ]}},\n  \
+         \"resume\": {{\"program\": {}, \"technique\": {}, \
+         \"baseline_ms\": {:.3}, \"overhead_ceiling_pct\": {:.1}, \"pass\": {}, \
+         \"rows\": [\n    {}\n  ], \
+         \"recovery\": {{\"crash_frame\": {}, \"frames\": {}, \
+         \"recovery_ms\": {:.3}, \"events_replayed\": {}, \"parity\": {}}}}},\n  \
          \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
@@ -977,6 +1214,17 @@ fn main() {
         EXEC_SPEEDUP_FLOOR,
         exec_pass,
         exec_json.join(",\n    "),
+        json_str("crc_guard"),
+        json_str(Technique::HigherOrder.name()),
+        resume_baseline_ms,
+        RESUME_OVERHEAD_CEILING_PCT,
+        resume_pass,
+        resume_json.join(",\n    "),
+        resume_recovery.crash_frame,
+        resume_recovery.frames,
+        resume_recovery.recovery_ms,
+        resume_recovery.events_replayed,
+        resume_recovery.parity,
         json_str(par_technique.name()),
         threads,
         host_threads,
@@ -1018,6 +1266,14 @@ fn main() {
         eprintln!(
             "campaign-bench: execution-throughput replay at {exec_speedup:.2}x, \
              below the {EXEC_SPEEDUP_FLOOR}x bytecode-VM floor"
+        );
+        failed = true;
+    }
+    if !resume_pass {
+        eprintln!(
+            "campaign-bench: crash-safe resume gate FAILED (parity {}, \
+             every-generation trace overhead must be <= {RESUME_OVERHEAD_CEILING_PCT}%)",
+            resume_recovery.parity
         );
         failed = true;
     }

@@ -32,6 +32,13 @@ pub enum FaultSite {
     ProbeFail,
     /// The worker processing a target panics.
     WorkerPanic,
+    /// A durable-trace frame write tears mid-frame (half the frame
+    /// reaches the file, then the write errors). Keyed by the event
+    /// sequence number — schedule-independent like every other site.
+    TraceShortWrite,
+    /// A durable-trace fsync fails (data may be buffered but is not
+    /// durable). Keyed by the fsync occasion ordinal.
+    TraceFsyncFail,
 }
 
 /// A seeded per-site Bernoulli fault plan.
@@ -52,6 +59,10 @@ pub struct FaultPlan {
     pub probe_fail: f64,
     /// Probability of [`FaultSite::WorkerPanic`].
     pub worker_panic: f64,
+    /// Probability of [`FaultSite::TraceShortWrite`].
+    pub trace_short_write: f64,
+    /// Probability of [`FaultSite::TraceFsyncFail`].
+    pub trace_fsync_fail: f64,
 }
 
 impl FaultPlan {
@@ -64,10 +75,18 @@ impl FaultPlan {
             interp_fault: 0.0,
             probe_fail: 0.0,
             worker_panic: 0.0,
+            trace_short_write: 0.0,
+            trace_fsync_fail: 0.0,
         }
     }
 
-    /// A plan injecting every fault kind with the same probability.
+    /// A plan injecting every *worker* fault kind with the same
+    /// probability. The trace-I/O sites stay disabled: their keys are
+    /// event sequence numbers, and a resumed trace writer covers a
+    /// different sequence range than the original run's writer, so
+    /// enabling them here would make resumed and uninterrupted
+    /// campaigns inject different fault counts. Tests that want trace
+    /// chaos set `trace_short_write`/`trace_fsync_fail` explicitly.
     pub fn uniform(seed: u64, p: f64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -76,6 +95,8 @@ impl FaultPlan {
             interp_fault: p,
             probe_fail: p,
             worker_panic: p,
+            trace_short_write: 0.0,
+            trace_fsync_fail: 0.0,
         }
     }
 
@@ -87,6 +108,8 @@ impl FaultPlan {
             FaultSite::InterpFault => self.interp_fault,
             FaultSite::ProbeFail => self.probe_fail,
             FaultSite::WorkerPanic => self.worker_panic,
+            FaultSite::TraceShortWrite => self.trace_short_write,
+            FaultSite::TraceFsyncFail => self.trace_fsync_fail,
         }
     }
 
@@ -187,10 +210,32 @@ impl FaultCounters {
     }
 }
 
+/// Counts of faults injected into the *durable trace* I/O path during a
+/// campaign. Kept separate from [`FaultCounters`] on purpose: trace
+/// faults never change campaign behaviour under the default
+/// drop-and-count policy (the report fold and the golden parity digests
+/// do not see them), they only degrade the on-disk trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceFaultCounters {
+    /// Frame writes torn mid-frame ([`FaultSite::TraceShortWrite`]).
+    pub short_writes: usize,
+    /// Fsync calls failed ([`FaultSite::TraceFsyncFail`]).
+    pub fsync_fails: usize,
+}
+
+impl TraceFaultCounters {
+    /// Total injected trace faults.
+    pub fn total(&self) -> usize {
+        self.short_writes + self.fsync_fails
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The worker-side sites covered by [`FaultPlan::uniform`]; the two
+    /// trace-I/O sites are opted into individually (see `uniform` docs).
     const SITES: [FaultSite; 5] = [
         FaultSite::SolverUnknown,
         FaultSite::SolverErr,
@@ -199,10 +244,12 @@ mod tests {
         FaultSite::WorkerPanic,
     ];
 
+    const TRACE_SITES: [FaultSite; 2] = [FaultSite::TraceShortWrite, FaultSite::TraceFsyncFail];
+
     #[test]
     fn disabled_plan_never_fires() {
         let plan = FaultPlan::new(7);
-        for site in SITES {
+        for site in SITES.into_iter().chain(TRACE_SITES) {
             for key in 0..200 {
                 assert!(!plan.roll(site, key));
             }
@@ -217,6 +264,34 @@ mod tests {
                 assert!(plan.roll(site, key));
             }
         }
+    }
+
+    #[test]
+    fn uniform_leaves_trace_sites_disabled() {
+        let plan = FaultPlan::uniform(7, 1.0);
+        for site in TRACE_SITES {
+            assert_eq!(plan.probability(site), 0.0);
+            assert!(!plan.roll(site, 3));
+        }
+        let plan = FaultPlan {
+            trace_short_write: 1.0,
+            trace_fsync_fail: 1.0,
+            ..FaultPlan::new(7)
+        };
+        for site in TRACE_SITES {
+            for key in 0..50 {
+                assert!(plan.roll(site, key));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_counters_total() {
+        let c = TraceFaultCounters {
+            short_writes: 2,
+            fsync_fails: 3,
+        };
+        assert_eq!(c.total(), 5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Driver configuration.
 
 use crate::chaos::FaultPlan;
+use crate::trace::{fnv64, TraceConfig};
 use hotg_concolic::SymbolicMode;
 use hotg_logic::Formula;
 use hotg_solver::ValidityConfig;
@@ -192,6 +193,17 @@ pub struct DriverConfig {
     /// is reported on stderr and the campaign proceeds without the
     /// trace. `None` (the default) disables the trace.
     pub event_trace: Option<PathBuf>,
+    /// Durable, crash-safe campaign trace: every campaign event is
+    /// written to the configured file as a length- and CRC32-framed
+    /// record behind a versioned header, so an interrupted campaign can
+    /// be picked up with [`Driver::resume`](crate::Driver::resume) and
+    /// finish with a report bit-identical to an uninterrupted run.
+    /// Unlike [`event_trace`](DriverConfig::event_trace) (a best-effort
+    /// debugging tap), this sink has explicit durability
+    /// ([`FsyncPolicy`](crate::FsyncPolicy)) and error
+    /// ([`TraceErrorPolicy`](crate::TraceErrorPolicy)) policies. `None`
+    /// (the default) writes no durable trace.
+    pub trace: Option<TraceConfig>,
     /// Optional solver-query tap: every satisfiability query the
     /// campaign poses through its per-generation solver sessions is
     /// appended here, pre-normalization and in query order. Escalated
@@ -225,6 +237,7 @@ impl Default for DriverConfig {
             degradation_ladder: true,
             fault_plan: None,
             event_trace: None,
+            trace: None,
             query_log: None,
         }
     }
@@ -237,6 +250,62 @@ impl DriverConfig {
             initial_inputs: Some(inputs),
             ..DriverConfig::default()
         }
+    }
+
+    /// Digest of every configuration field that influences campaign
+    /// *behaviour*, stamped into the durable-trace header and checked on
+    /// resume: a salvaged trace replays bit-identically only under the
+    /// configuration that produced it, so a mismatch is refused with
+    /// [`ResumeError::HeaderMismatch`](crate::ResumeError).
+    ///
+    /// Deliberately excluded, because they cannot change the event
+    /// stream: `threads` and `bytecode` (bit-identical by construction),
+    /// the trace/observability sinks (`event_trace`, `query_log`,
+    /// `trace`, `validity.smt.trace` — announcement-only or
+    /// env-dependent), and the wall-clock `Deadline` carriers inside the
+    /// solver configs (schedule state, not configuration). Deadline
+    /// *durations* are included: resuming under a different budget is a
+    /// behavioural change.
+    pub fn resume_digest(&self) -> u64 {
+        let v = &self.validity;
+        let s = &v.smt;
+        let l = &s.lia;
+        let rendered = format!(
+            "max_runs={} fuel={} seed={} random_range={:?} cross_run_samples={} \
+             max_probes_per_target={} initial_inputs={:?} seed_corpus={:?} \
+             static_pruning={} retry_escalation={} degradation_ladder={} \
+             fault_plan={:?} target_deadline={:?} campaign_deadline={:?} \
+             validity.max_cubes={} validity.max_candidates={} \
+             validity.counter_shifts={:?} smt.max_rounds={} \
+             smt.total_node_budget={} smt.incremental={} smt.pre_solve={} \
+             lia.var_min={} lia.var_max={} lia.node_budget={} lia.prefer_small={}",
+            self.max_runs,
+            self.fuel,
+            self.seed,
+            self.random_range,
+            self.cross_run_samples,
+            self.max_probes_per_target,
+            self.initial_inputs,
+            self.seed_corpus,
+            self.static_pruning,
+            self.retry_escalation,
+            self.degradation_ladder,
+            self.fault_plan,
+            self.target_deadline,
+            self.campaign_deadline,
+            v.max_cubes,
+            v.max_candidates,
+            v.counter_shifts,
+            s.max_rounds,
+            s.total_node_budget,
+            s.incremental,
+            s.pre_solve,
+            l.var_min,
+            l.var_max,
+            l.node_budget,
+            l.prefer_small,
+        );
+        fnv64(rendered.as_bytes())
     }
 }
 
@@ -304,8 +373,32 @@ mod tests {
         assert!(c.degradation_ladder);
         assert!(c.fault_plan.is_none());
         assert!(c.event_trace.is_none());
+        assert!(c.trace.is_none());
         assert!(c.query_log.is_none());
         let c2 = DriverConfig::with_initial(vec![1, 2]);
         assert_eq!(c2.initial_inputs, Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn resume_digest_tracks_behavioural_fields_only() {
+        let a = DriverConfig::default();
+        let mut b = DriverConfig::default();
+        assert_eq!(a.resume_digest(), b.resume_digest());
+        // Bit-identical-by-construction and observability knobs must not
+        // block a resume.
+        b.threads = a.threads + 7;
+        b.bytecode = !a.bytecode;
+        b.event_trace = Some(PathBuf::from("/tmp/x.jsonl"));
+        b.trace = Some(TraceConfig::new("/tmp/x.trace"));
+        assert_eq!(a.resume_digest(), b.resume_digest());
+        // Behavioural fields must.
+        b.max_runs += 1;
+        assert_ne!(a.resume_digest(), b.resume_digest());
+        let mut c = DriverConfig::default();
+        c.seed ^= 1;
+        assert_ne!(a.resume_digest(), c.resume_digest());
+        let mut d = DriverConfig::default();
+        d.fault_plan = Some(FaultPlan::uniform(1, 0.5));
+        assert_ne!(a.resume_digest(), d.resume_digest());
     }
 }

@@ -23,10 +23,11 @@
 //! argument.
 
 use crate::config::{DriverConfig, Technique};
-use crate::engine::Engine;
-use crate::events::{EventSink, NullSink};
+use crate::engine::{Engine, ResumeData};
+use crate::events::{fold_report, EventSink, NullSink};
 use crate::report::Report;
 use crate::strategy;
+use crate::trace::{program_digest, recover, RecoveryReport, ResumeError};
 use hotg_analysis::{analyze, AnalysisResult};
 use hotg_concolic::ConcolicContext;
 use hotg_lang::{CompiledProgram, NativeRegistry, Program};
@@ -125,4 +126,126 @@ impl<'p> Driver<'p> {
         report.elapsed = start.elapsed();
         report
     }
+
+    /// Resumes an interrupted campaign from the durable trace configured
+    /// in [`DriverConfig::trace`] and returns the finished report —
+    /// bit-identical (modulo wall-clock [`Report::elapsed`] and the
+    /// thread-schedule-dependent cache hit/miss split) to the report an
+    /// uninterrupted run would have produced.
+    pub fn resume(&self, technique: Technique) -> Result<Report, ResumeError> {
+        self.resume_with_sink(technique, &mut NullSink)
+            .map(|r| r.report)
+    }
+
+    /// [`resume`](Driver::resume), plus a [`RecoveryReport`] describing
+    /// what was salvaged from the trace file, and with every event of
+    /// the resumed campaign — replayed and fresh alike — streamed into
+    /// `sink`.
+    ///
+    /// Recovery salvages the longest valid prefix of the trace (frames
+    /// are length- and CRC32-checked; a torn tail or corrupt frame ends
+    /// the prefix and is reported, never panicked on). The header is
+    /// refused with [`ResumeError::HeaderMismatch`] unless its
+    /// technique, program digest, and [`DriverConfig::resume_digest`]
+    /// all match this driver — a salvaged prefix only replays
+    /// deterministically under the configuration that recorded it. A
+    /// trace that already ends in `CampaignFinished` short-circuits: the
+    /// report is folded straight from the recorded events and the file
+    /// is left untouched.
+    pub fn resume_with_sink(
+        &self,
+        technique: Technique,
+        sink: &mut dyn EventSink,
+    ) -> Result<Resumed, ResumeError> {
+        let start = std::time::Instant::now();
+        let tc = self
+            .config
+            .trace
+            .as_ref()
+            .ok_or(ResumeError::NoTraceConfigured)?;
+        let rec = recover(&tc.path)?;
+        if rec.header.technique != technique {
+            return Err(ResumeError::HeaderMismatch {
+                field: "technique",
+                expected: rec.header.technique.name().to_string(),
+                found: technique.name().to_string(),
+            });
+        }
+        let pdigest = program_digest(self.program);
+        if rec.header.program_digest != pdigest {
+            return Err(ResumeError::HeaderMismatch {
+                field: "program_digest",
+                expected: format!("{:016x}", rec.header.program_digest),
+                found: format!("{pdigest:016x}"),
+            });
+        }
+        let cdigest = self.config.resume_digest();
+        if rec.header.config_digest != cdigest {
+            return Err(ResumeError::HeaderMismatch {
+                field: "config_digest",
+                expected: format!("{:016x}", rec.header.config_digest),
+                found: format!("{cdigest:016x}"),
+            });
+        }
+        let frames_salvaged = rec.events.len();
+        if rec.complete {
+            // The trace records a finished campaign: the report is its
+            // fold. Nothing re-runs and the file is left untouched.
+            let mut report = fold_report(&rec.events);
+            for event in &rec.events {
+                let _ = sink.emit(event);
+            }
+            report.elapsed = start.elapsed();
+            return Ok(Resumed {
+                report,
+                recovery: RecoveryReport {
+                    frames_salvaged,
+                    events_replayed: frames_salvaged,
+                    bytes_discarded: rec.bytes_discarded,
+                    frames_discarded: rec.frames_discarded,
+                    complete: true,
+                    damage: rec.damage,
+                },
+            });
+        }
+        let engine = Engine {
+            program: self.program,
+            natives: self.natives,
+            ctx: &self.ctx,
+            analysis: &self.analysis,
+            config: &self.config,
+            arena: &self.arena,
+            compiled: self.compiled.as_ref(),
+            exec: Default::default(),
+        };
+        let resume = ResumeData {
+            events: rec.events,
+            ends: rec.ends,
+            header_end: rec.header_end,
+        };
+        let (mut report, events_replayed) =
+            engine.run_resumable(strategy::for_technique(technique), sink, Some(resume));
+        report.elapsed = start.elapsed();
+        Ok(Resumed {
+            report,
+            recovery: RecoveryReport {
+                frames_salvaged,
+                events_replayed,
+                bytes_discarded: rec.bytes_discarded,
+                frames_discarded: rec.frames_discarded,
+                complete: false,
+                damage: rec.damage,
+            },
+        })
+    }
+}
+
+/// Result of [`Driver::resume_with_sink`]: the finished report plus a
+/// summary of what trace recovery salvaged and replay consumed.
+#[derive(Debug)]
+pub struct Resumed {
+    /// The finished campaign report.
+    pub report: Report,
+    /// What was salvaged from the trace and how much of it replayed.
+    pub recovery: RecoveryReport,
 }

@@ -33,6 +33,7 @@
 
 pub(crate) mod ladder;
 pub(crate) mod outcome;
+pub(crate) mod resume;
 pub(crate) mod scheduler;
 
 use crate::chaos::{chaos_key, injected_fault, FaultCounters, FaultSite};
@@ -40,6 +41,7 @@ use crate::config::DriverConfig;
 use crate::events::{CampaignEvent, EventSink, JsonlSink};
 use crate::report::{Origin, Report, RunRecord};
 use crate::strategy::{Strategy, TargetCx};
+use crate::trace::{program_digest, TraceConfig, TraceErrorPolicy, TraceHeader, TraceWriter};
 use hotg_analysis::AnalysisResult;
 use hotg_concolic::{
     diverged, execute_compiled_profiled, execute_profiled, ConcolicContext, ConcolicRun,
@@ -93,22 +95,225 @@ pub(crate) struct ExecCounters {
     pub(crate) tree_runs: AtomicU64,
 }
 
+/// The salvaged event prefix a resumed campaign replays: the engine's
+/// deterministic re-derivation of the campaign is matched against the
+/// recorded events one by one.
+pub(crate) struct ResumeData {
+    /// The salvaged events, in recorded order.
+    pub(crate) events: Vec<CampaignEvent>,
+    /// Byte offset just past each event's frame in the trace file.
+    pub(crate) ends: Vec<u64>,
+    /// Byte offset just past the header frame.
+    pub(crate) header_end: u64,
+}
+
+/// State of the durable trace file behind the [`Emitter`].
+enum Durable {
+    /// No durable trace configured (or the writer was disabled by an
+    /// I/O error under the drop-and-count policy).
+    Off,
+    /// Live appender: every emitted event becomes one durable frame.
+    Writing(TraceWriter),
+    /// Resume replay in flight: the matched prefix is already on disk,
+    /// so nothing is written. On replay abandonment the file is
+    /// truncated at the last consumed frame boundary and this becomes
+    /// `Writing`.
+    Pending {
+        config: TraceConfig,
+        ends: Vec<u64>,
+        header_end: u64,
+    },
+}
+
+/// Replay cursor over the salvaged prefix of a recorded campaign.
+struct Replay {
+    events: Vec<CampaignEvent>,
+    pos: usize,
+}
+
 /// The engine's event funnel: every event is folded into the report
-/// under construction, then forwarded to the optional JSONL trace and
-/// the caller's sink. Emission happens on the merge thread only.
+/// under construction, then written to the durable trace (unless a
+/// resume replay says it is already on disk) and forwarded to the
+/// optional JSONL trace and the caller's sink. Emission happens on the
+/// merge thread only.
+///
+/// Sink error policy (drop-and-count): the first `Err` from any sink
+/// permanently disables that sink, is tallied into `sink_errors`, and
+/// the campaign continues. The durable trace can opt into
+/// [`TraceErrorPolicy::FailFast`] instead, which additionally trips a
+/// flag the scheduler checks at merge boundaries.
 pub(crate) struct Emitter<'s> {
     pub(crate) report: Report,
     trace: Option<JsonlSink>,
     external: &'s mut dyn EventSink,
+    external_dead: bool,
+    durable: Durable,
+    replay: Option<Replay>,
+    /// Chaos plan handed to writers opened mid-campaign (resume).
+    plan: Option<crate::chaos::FaultPlan>,
+    policy: TraceErrorPolicy,
+    /// Sink I/O errors absorbed so far (all sinks).
+    sink_errors: usize,
+    fail_fast: bool,
+    /// Trace-fault counters absorbed from writers that were disabled.
+    absorbed_short_writes: usize,
+    absorbed_fsync_fails: usize,
+    /// Recorded events consumed by the replay before it ended.
+    replayed: usize,
 }
 
 impl Emitter<'_> {
+    /// Events the `EveryGeneration` fsync policy makes durable on.
+    fn sync_point(event: &CampaignEvent) -> bool {
+        matches!(
+            event,
+            CampaignEvent::GenerationStarted { .. } | CampaignEvent::CampaignFinished
+        )
+    }
+
     pub(crate) fn emit(&mut self, event: CampaignEvent) {
         self.report.fold(&event);
-        if let Some(trace) = &mut self.trace {
-            trace.emit(&event);
+        if let Some(replay) = &mut self.replay {
+            if replay.pos < replay.events.len() && replay.events[replay.pos] == event {
+                // The engine re-derived exactly what the trace recorded:
+                // consume it. The frame is already on disk, so only the
+                // non-durable sinks observe it.
+                replay.pos += 1;
+                self.forward(&event);
+                return;
+            }
+            // Divergence from the recorded prefix (normally the recorded
+            // tail of a crashed campaign, e.g. stale end-of-run stats):
+            // truncate the trace at the last consumed frame and go live.
+            self.abandon_replay();
         }
-        self.external.emit(&event);
+        self.write_durable(&event);
+        self.forward(&event);
+    }
+
+    /// Forwards one event to the non-durable sinks, absorbing errors
+    /// under the drop-and-count policy.
+    fn forward(&mut self, event: &CampaignEvent) {
+        if let Some(trace) = &mut self.trace {
+            if trace.emit(event).is_err() {
+                // JsonlSink disabled itself; drop it and count.
+                self.sink_errors += 1;
+                self.trace = None;
+            }
+        }
+        if !self.external_dead && self.external.emit(event).is_err() {
+            self.sink_errors += 1;
+            self.external_dead = true;
+        }
+    }
+
+    fn write_durable(&mut self, event: &CampaignEvent) {
+        let Durable::Writing(w) = &mut self.durable else {
+            return;
+        };
+        if w.write_event(event, Emitter::sync_point(event)).is_err() {
+            self.sink_errors += 1;
+            if self.policy == TraceErrorPolicy::FailFast {
+                self.fail_fast = true;
+            }
+            self.kill_writer();
+        }
+    }
+
+    /// Disables the durable writer, keeping its injected-fault counters.
+    fn kill_writer(&mut self) {
+        if let Durable::Writing(w) = std::mem::replace(&mut self.durable, Durable::Off) {
+            self.absorbed_short_writes += w.injected_short_writes();
+            self.absorbed_fsync_fails += w.injected_fsync_fails();
+        }
+    }
+
+    /// Ends the replay: truncates the trace file at the boundary of the
+    /// last consumed frame and reopens it for live appending.
+    fn abandon_replay(&mut self) {
+        let Some(replay) = self.replay.take() else {
+            return;
+        };
+        self.replayed = replay.pos;
+        let Durable::Pending {
+            config,
+            ends,
+            header_end,
+        } = std::mem::replace(&mut self.durable, Durable::Off)
+        else {
+            return;
+        };
+        let end = if replay.pos == 0 {
+            header_end
+        } else {
+            ends[replay.pos - 1]
+        };
+        match TraceWriter::append(
+            &config.path,
+            end,
+            replay.pos as u64,
+            config.fsync,
+            self.plan.clone(),
+            config.chaos_kill_at_event,
+        ) {
+            Ok(w) => self.durable = Durable::Writing(w),
+            Err(e) => {
+                eprintln!(
+                    "hotg: cannot reopen durable trace {}: {e}",
+                    config.path.display()
+                );
+                self.sink_errors += 1;
+                if self.policy == TraceErrorPolicy::FailFast {
+                    self.fail_fast = true;
+                }
+            }
+        }
+    }
+
+    /// Whether recorded events remain to be consumed by the replay.
+    pub(crate) fn replay_active(&self) -> bool {
+        self.replay.as_ref().is_some_and(|r| r.pos < r.events.len())
+    }
+
+    /// The not-yet-consumed recorded events (empty when no replay).
+    pub(crate) fn replay_rest(&self) -> &[CampaignEvent] {
+        match &self.replay {
+            Some(r) => &r.events[r.pos..],
+            None => &[],
+        }
+    }
+
+    /// Whether a trace I/O error under [`TraceErrorPolicy::FailFast`]
+    /// asked the campaign to stop at the next merge boundary.
+    pub(crate) fn fail_fast_tripped(&self) -> bool {
+        self.fail_fast
+    }
+
+    /// Total injected trace faults so far (disabled + live writers).
+    fn trace_fault_counts(&self) -> (usize, usize) {
+        let (mut sw, mut ff) = (self.absorbed_short_writes, self.absorbed_fsync_fails);
+        if let Durable::Writing(w) = &self.durable {
+            sw += w.injected_short_writes();
+            ff += w.injected_fsync_fails();
+        }
+        (sw, ff)
+    }
+
+    /// Closes the durable trace. Best-effort: the report is final by
+    /// now (it is folded per event), so close-time errors are reported
+    /// on stderr but never mutate the report.
+    fn finish(&mut self) {
+        if let Some(replay) = self.replay.take() {
+            // The whole campaign matched the recorded prefix (complete
+            // trace): the file is already exactly right, leave it alone.
+            self.replayed = replay.pos;
+            return;
+        }
+        if let Durable::Writing(w) = &mut self.durable {
+            if let Err(e) = w.finish() {
+                eprintln!("hotg: durable trace close failed: {e}");
+            }
+        }
     }
 }
 
@@ -124,8 +329,20 @@ pub(crate) struct SearchState {
 
 impl<'a> Engine<'a> {
     /// Runs one campaign under `strategy`, streaming events into the
-    /// report fold, the configured trace, and `external`.
+    /// report fold, the configured traces, and `external`.
     pub(crate) fn run(&self, strategy: &dyn Strategy, external: &mut dyn EventSink) -> Report {
+        self.run_resumable(strategy, external, None).0
+    }
+
+    /// Runs one campaign, optionally replaying a salvaged trace prefix
+    /// (resume). Returns the report plus the number of recorded events
+    /// the replay consumed.
+    pub(crate) fn run_resumable(
+        &self,
+        strategy: &dyn Strategy,
+        external: &mut dyn EventSink,
+        resume: Option<ResumeData>,
+    ) -> (Report, usize) {
         let trace = self.config.event_trace.as_ref().and_then(|path| {
             JsonlSink::create(path)
                 .map_err(|e| {
@@ -133,10 +350,80 @@ impl<'a> Engine<'a> {
                 })
                 .ok()
         });
+        let policy = self
+            .config
+            .trace
+            .as_ref()
+            .map(|t| t.on_error)
+            .unwrap_or_default();
+        let mut startup_errors = 0;
+        let (durable, replay) = match resume {
+            Some(rd) => {
+                let config = self
+                    .config
+                    .trace
+                    .clone()
+                    .expect("resume requires a configured durable trace");
+                (
+                    Durable::Pending {
+                        config,
+                        ends: rd.ends,
+                        header_end: rd.header_end,
+                    },
+                    Some(Replay {
+                        events: rd.events,
+                        pos: 0,
+                    }),
+                )
+            }
+            None => {
+                let durable = match &self.config.trace {
+                    Some(tc) => {
+                        let header = TraceHeader {
+                            program: self.program.name.clone(),
+                            program_digest: program_digest(self.program),
+                            config_digest: self.config.resume_digest(),
+                            technique: strategy.technique(),
+                            seed: self.config.seed,
+                            fsync: tc.fsync,
+                        };
+                        match TraceWriter::create(
+                            &tc.path,
+                            &header,
+                            tc.fsync,
+                            self.config.fault_plan.clone(),
+                            tc.chaos_kill_at_event,
+                        ) {
+                            Ok(w) => Durable::Writing(w),
+                            Err(e) => {
+                                eprintln!(
+                                    "hotg: cannot create durable trace {}: {e}",
+                                    tc.path.display()
+                                );
+                                startup_errors = 1;
+                                Durable::Off
+                            }
+                        }
+                    }
+                    None => Durable::Off,
+                };
+                (durable, None)
+            }
+        };
         let mut em = Emitter {
             report: Report::empty(),
             trace,
             external,
+            external_dead: false,
+            durable,
+            replay,
+            plan: self.config.fault_plan.clone(),
+            policy,
+            sink_errors: startup_errors,
+            fail_fast: startup_errors > 0 && policy == TraceErrorPolicy::FailFast,
+            absorbed_short_writes: 0,
+            absorbed_fsync_fails: 0,
+            replayed: 0,
         };
         em.emit(CampaignEvent::CampaignStarted {
             technique: strategy.technique(),
@@ -148,6 +435,29 @@ impl<'a> Engine<'a> {
         } else {
             self.random_campaign(&mut em);
         }
+        // Trace-fault and sink-error accounting, announced before the
+        // closing stats so `[ExecStats, CampaignFinished]` stays the
+        // stream's invariant tail. Snapshot counts: a failure while
+        // writing these very frames is absorbed best-effort (stderr at
+        // close) — the report is never mutated after its fold.
+        let (short_writes, fsync_fails) = em.trace_fault_counts();
+        if short_writes > 0 {
+            em.emit(CampaignEvent::FaultInjected {
+                site: FaultSite::TraceShortWrite,
+                count: short_writes,
+            });
+        }
+        if fsync_fails > 0 {
+            em.emit(CampaignEvent::FaultInjected {
+                site: FaultSite::TraceFsyncFail,
+                count: fsync_fails,
+            });
+        }
+        if em.sink_errors > 0 {
+            em.emit(CampaignEvent::SinkErrors {
+                count: em.sink_errors,
+            });
+        }
         em.emit(CampaignEvent::ExecStats {
             instructions: self.exec.instructions.load(Ordering::Relaxed),
             compiled_blocks: self.compiled.map_or(0, |cp| cp.blocks.len()),
@@ -155,7 +465,8 @@ impl<'a> Engine<'a> {
             tree_runs: self.exec.tree_runs.load(Ordering::Relaxed),
         });
         em.emit(CampaignEvent::CampaignFinished);
-        em.report
+        em.finish();
+        (em.report, em.replayed)
     }
 
     /// One concrete run: bytecode VM when a compiled program is
@@ -241,6 +552,9 @@ impl<'a> Engine<'a> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let campaign_end = self.campaign_end();
         for i in 0..self.config.max_runs {
+            if em.fail_fast_tripped() {
+                break;
+            }
             if campaign_end.expired() {
                 em.emit(CampaignEvent::CampaignTimedOut);
                 break;

@@ -6,7 +6,7 @@
 //! determinism argument.
 
 use super::outcome::{path_key, Job, TargetOutcome, WorkerRun};
-use super::{Emitter, Engine, SearchState};
+use super::{resume, Emitter, Engine, SearchState};
 use crate::chaos::FaultSite;
 use crate::events::CampaignEvent;
 use crate::report::Origin;
@@ -82,6 +82,9 @@ impl Engine<'_> {
 
         let threads = self.config.threads.max(1);
         'search: while !st.pending.is_empty() && em.report.runs.len() < self.config.max_runs {
+            if em.fail_fast_tripped() {
+                break;
+            }
             if campaign_end.expired() {
                 em.emit(CampaignEvent::CampaignTimedOut);
                 break;
@@ -107,14 +110,51 @@ impl Engine<'_> {
             // its learned clauses.
             let session = SmtSession::for_solver(&smt);
             let mut stop = false;
-            if threads == 1 || jobs.len() == 1 {
-                for job in &jobs {
+            // Stage A (resume replay): while the recorded prefix still
+            // covers whole targets, reconstruct each outcome from the
+            // trace instead of redoing its solver work. Every
+            // reconstructed run is re-executed and verified against the
+            // recorded record; any inconsistency stops the stage and the
+            // remaining targets are processed live (stage B), which
+            // abandons the replay at the first diverging event.
+            let mut start = 0;
+            while start < jobs.len() && em.replay_active() && !stop {
+                if em.report.runs.len() >= self.config.max_runs {
+                    stop = true;
+                    break;
+                }
+                if campaign_end.expired() {
+                    em.emit(CampaignEvent::CampaignTimedOut);
+                    stop = true;
+                    break;
+                }
+                if em.fail_fast_tripped() {
+                    stop = true;
+                    break;
+                }
+                let Some(out) =
+                    resume::reconstruct_outcome(self, strategy, &jobs[start], em.replay_rest())
+                else {
+                    break;
+                };
+                self.merge_outcome(&jobs[start], out, em, &mut st);
+                start += 1;
+            }
+            let live = &jobs[start..];
+            if stop {
+                // fall through to session accounting, then stop
+            } else if threads == 1 || live.len() <= 1 {
+                for job in live {
                     if em.report.runs.len() >= self.config.max_runs {
                         stop = true;
                         break;
                     }
                     if campaign_end.expired() {
                         em.emit(CampaignEvent::CampaignTimedOut);
+                        stop = true;
+                        break;
+                    }
+                    if em.fail_fast_tripped() {
                         stop = true;
                         break;
                     }
@@ -131,7 +171,7 @@ impl Engine<'_> {
                     self.merge_outcome(job, out, em, &mut st);
                 }
             } else {
-                let outcomes = run_pool(threads, &jobs, |job| {
+                let outcomes = run_pool(threads, live, |job| {
                     self.process_target(
                         strategy,
                         job,
@@ -143,13 +183,17 @@ impl Engine<'_> {
                         campaign_end,
                     )
                 });
-                for (job, out) in jobs.iter().zip(outcomes) {
+                for (job, out) in live.iter().zip(outcomes) {
                     if em.report.runs.len() >= self.config.max_runs {
                         stop = true;
                         break;
                     }
                     if campaign_end.expired() {
                         em.emit(CampaignEvent::CampaignTimedOut);
+                        stop = true;
+                        break;
+                    }
+                    if em.fail_fast_tripped() {
                         stop = true;
                         break;
                     }
@@ -264,6 +308,10 @@ impl Engine<'_> {
         for run in out.runs {
             self.merge_run(run, em, st);
         }
+        // Block delimiter for the resume replay: announcement-only, not
+        // folded, but recorded in the durable trace so a salvaged prefix
+        // can be split back into whole per-target outcome blocks.
+        em.emit(CampaignEvent::TargetClosed { target: job.id });
     }
 }
 

@@ -22,8 +22,8 @@
 
 use crate::chaos::FaultSite;
 use crate::config::Technique;
-use crate::report::{DegradationRecord, Report, RunRecord};
-use hotg_lang::BranchId;
+use crate::report::{DegradationRecord, Origin, Report, RunRecord};
+use hotg_lang::{BranchId, Outcome};
 use std::io::Write;
 use std::path::Path;
 
@@ -185,6 +185,22 @@ pub enum CampaignEvent {
     /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
     /// expired.
     CampaignTimedOut,
+    /// All events of one scheduled target have been merged (emitted
+    /// after the last event of every target's outcome block).
+    /// Announcement-only: not folded into the report. The resume replay
+    /// uses it to delimit per-target event blocks in a recorded trace.
+    TargetClosed {
+        /// Branch site whose outcome block just ended.
+        target: BranchId,
+    },
+    /// Event-sink I/O errors were absorbed during the campaign (writes
+    /// dropped under the drop-and-count policy — see
+    /// [`Report::sink_errors`](crate::Report::sink_errors)). Emitted
+    /// once near the end of a campaign, only when the count is nonzero.
+    SinkErrors {
+        /// Number of absorbed sink I/O errors.
+        count: usize,
+    },
     /// The campaign finished; no further events follow.
     CampaignFinished,
 }
@@ -214,6 +230,8 @@ impl CampaignEvent {
             CampaignEvent::BackendStats { .. } => "backend_stats",
             CampaignEvent::ExecStats { .. } => "exec_stats",
             CampaignEvent::CampaignTimedOut => "campaign_timed_out",
+            CampaignEvent::TargetClosed { .. } => "target_closed",
+            CampaignEvent::SinkErrors { .. } => "sink_errors",
             CampaignEvent::CampaignFinished => "campaign_finished",
         }
     }
@@ -239,6 +257,7 @@ impl CampaignEvent {
             CampaignEvent::TargetScheduled { target }
             | CampaignEvent::TargetSolved { target }
             | CampaignEvent::TargetFaulted { target }
+            | CampaignEvent::TargetClosed { target }
             | CampaignEvent::ProbeRun { target } => {
                 s.push_str(&format!(",\"target\":{}", target.0));
             }
@@ -246,7 +265,8 @@ impl CampaignEvent {
             | CampaignEvent::TargetsRejected { count }
             | CampaignEvent::SolverErrors { count }
             | CampaignEvent::BudgetEscalations { count }
-            | CampaignEvent::TargetsPrunedStatic { count } => {
+            | CampaignEvent::TargetsPrunedStatic { count }
+            | CampaignEvent::SinkErrors { count } => {
                 s.push_str(&format!(",\"count\":{count}"));
             }
             CampaignEvent::FaultInjected { site, count } => {
@@ -259,7 +279,8 @@ impl CampaignEvent {
                         s.push(',');
                     }
                     s.push_str(&format!(
-                        "{{\"level\":\"{}\",\"reason\":\"{:?}\",\"recovered\":{}}}",
+                        "{{\"target\":{},\"level\":\"{}\",\"reason\":\"{:?}\",\"recovered\":{}}}",
+                        r.target.0,
                         r.level.label(),
                         r.reason,
                         r.recovered
@@ -269,10 +290,11 @@ impl CampaignEvent {
             }
             CampaignEvent::RunExecuted { record } => {
                 s.push_str(&format!(
-                    ",\"origin\":{},\"inputs\":{:?},\"outcome\":{},\"path_len\":{}",
-                    json_str(&format!("{:?}", record.origin)),
+                    ",\"origin\":{},\"inputs\":{:?},\"outcome\":{},\"path\":{},\"path_len\":{}",
+                    origin_json(&record.origin),
                     record.inputs,
-                    json_str(&format!("{:?}", record.outcome)),
+                    outcome_json(&record.outcome),
+                    path_json(&record.path),
                     record.path.len()
                 ));
                 if let Some(d) = record.diverged {
@@ -327,6 +349,61 @@ impl CampaignEvent {
     }
 }
 
+/// Renders a run origin as a structured JSON object. Lossless: the
+/// trace reader's `decode_event` inverts this exactly, which the resume
+/// replay depends on.
+fn origin_json(origin: &Origin) -> String {
+    match origin {
+        Origin::Initial => "{\"kind\":\"initial\"}".to_string(),
+        Origin::Seed => "{\"kind\":\"seed\"}".to_string(),
+        Origin::Random => "{\"kind\":\"random\"}".to_string(),
+        Origin::Solved { target } => {
+            format!("{{\"kind\":\"solved\",\"target\":{}}}", target.0)
+        }
+        Origin::Strategy { target, strategy } => format!(
+            "{{\"kind\":\"strategy\",\"target\":{},\"strategy\":{}}}",
+            target.0,
+            json_str(strategy)
+        ),
+        Origin::Probe { target } => {
+            format!("{{\"kind\":\"probe\",\"target\":{}}}", target.0)
+        }
+        Origin::Degraded { target, level } => format!(
+            "{{\"kind\":\"degraded\",\"target\":{},\"level\":\"{}\"}}",
+            target.0,
+            level.label()
+        ),
+    }
+}
+
+/// Renders an execution outcome as a structured JSON object (lossless,
+/// like [`origin_json`]).
+fn outcome_json(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Returned => "{\"kind\":\"returned\"}".to_string(),
+        Outcome::Error(code) => format!("{{\"kind\":\"error\",\"code\":{code}}}"),
+        Outcome::OutOfFuel => "{\"kind\":\"out_of_fuel\"}".to_string(),
+        Outcome::RuntimeFault(fault) => format!(
+            "{{\"kind\":\"fault\",\"fault_kind\":\"{}\",\"message\":{}}}",
+            fault.kind.label(),
+            json_str(&fault.message)
+        ),
+    }
+}
+
+/// Renders a branch path as `[[site,dir],...]` (lossless).
+fn path_json(path: &[(BranchId, bool)]) -> String {
+    let mut s = String::from("[");
+    for (i, (id, dir)) in path.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("[{},{dir}]", id.0));
+    }
+    s.push(']');
+    s
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -349,9 +426,22 @@ fn json_str(s: &str) -> String {
 /// A consumer of the campaign event stream. Sinks observe events in
 /// deterministic merge order; they must not assume anything about
 /// worker scheduling.
+///
+/// `emit` is fallible so I/O-backed sinks can surface write errors
+/// instead of swallowing them. The engine applies a *drop-and-count*
+/// backpressure policy to every sink: the first `Err` permanently
+/// disables that sink for the rest of the campaign (no retries — a
+/// partially-written line or torn frame already ends its usable
+/// prefix), the error is tallied into
+/// [`Report::sink_errors`](crate::Report::sink_errors), and the
+/// campaign continues; sinks can never stall or fail the merge thread.
+/// The durable campaign trace ([`DriverConfig::trace`](crate::DriverConfig::trace))
+/// can opt into fail-fast instead
+/// ([`TraceErrorPolicy::FailFast`](crate::TraceErrorPolicy::FailFast)),
+/// which stops the campaign at the next merge boundary.
 pub trait EventSink {
     /// Consumes one event.
-    fn emit(&mut self, event: &CampaignEvent);
+    fn emit(&mut self, event: &CampaignEvent) -> std::io::Result<()>;
 }
 
 /// Sink that discards every event (the default for
@@ -360,7 +450,9 @@ pub trait EventSink {
 pub struct NullSink;
 
 impl EventSink for NullSink {
-    fn emit(&mut self, _event: &CampaignEvent) {}
+    fn emit(&mut self, _event: &CampaignEvent) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Sink that records every event in memory, for tests and for
@@ -388,15 +480,24 @@ impl EventLog {
 }
 
 impl EventSink for EventLog {
-    fn emit(&mut self, event: &CampaignEvent) {
+    fn emit(&mut self, event: &CampaignEvent) -> std::io::Result<()> {
         self.events.push(event.clone());
+        Ok(())
     }
 }
 
 /// Sink that appends each event as one JSON line to a file
 /// ([`DriverConfig::event_trace`](crate::DriverConfig::event_trace)).
-/// Writes are best-effort: an I/O error mid-campaign drops the rest of
-/// the trace rather than failing the campaign.
+///
+/// Error policy (drop-and-count): each line is written and flushed
+/// eagerly so failures surface on the event that hit them, the first
+/// failed write disables the sink for the rest of the campaign (the
+/// remaining trace is dropped, never silently truncated mid-line on a
+/// later flush), and the error is propagated to the engine, which
+/// counts it in [`Report::sink_errors`](crate::Report::sink_errors).
+/// The campaign result never depends on the trace. For a durable,
+/// recoverable trace use
+/// [`DriverConfig::trace`](crate::DriverConfig::trace) instead.
 #[derive(Debug)]
 pub struct JsonlSink {
     out: Option<std::io::BufWriter<std::fs::File>>,
@@ -415,17 +516,19 @@ impl JsonlSink {
 }
 
 impl EventSink for JsonlSink {
-    fn emit(&mut self, event: &CampaignEvent) {
+    fn emit(&mut self, event: &CampaignEvent) -> std::io::Result<()> {
         let Some(w) = self.out.as_mut() else {
-            return;
+            return Ok(());
         };
         let line = event.to_json(self.seq);
         self.seq += 1;
-        if writeln!(w, "{line}").is_err() {
+        let res = writeln!(w, "{line}").and_then(|()| w.flush());
+        if res.is_err() {
             // Disable the trace on the first failed write; the campaign
             // result does not depend on the trace.
             self.out = None;
         }
+        res
     }
 }
 

@@ -43,16 +43,20 @@ mod events;
 mod report;
 mod strategy;
 mod summaries;
+mod trace;
 
-pub use chaos::{FaultCounters, FaultPlan, FaultSite};
+pub use chaos::{FaultCounters, FaultPlan, FaultSite, TraceFaultCounters};
 pub use config::{DriverConfig, Technique};
-pub use driver::Driver;
+pub use driver::{Driver, Resumed};
 pub use events::{fold_report, CampaignEvent, EventLog, EventSink, JsonlSink, NullSink};
 pub use report::{
     comparison_table, DegradationLevel, DegradationReason, DegradationRecord, Origin, Report,
     RunRecord,
 };
 pub use summaries::{FuncSummary, SummaryConfig, SummaryPath, SummaryTable};
+pub use trace::{
+    FsyncPolicy, RecoveryReport, ResumeError, TraceConfig, TraceErrorPolicy, TraceHeader,
+};
 
 #[cfg(test)]
 mod tests;

@@ -16,30 +16,15 @@
 //! schedule-independent keys, injected campaigns are also bit-identical
 //! across thread counts.
 
-use hotg_core::{DegradationLevel, Driver, DriverConfig, FaultPlan, Origin, Report, Technique};
+mod common;
+
+use common::{canonical, frame_ends, quiet_injected_panics, tmp};
+use hotg_core::{
+    DegradationLevel, Driver, DriverConfig, FaultPlan, Origin, Report, Technique, TraceConfig,
+};
 use hotg_lang::{corpus, FaultKind, Outcome};
 use hotg_solver::ValidityConfig;
-use std::sync::Once;
 use std::time::Duration;
-
-/// Replaces the default panic hook with one that stays silent for the
-/// driver's injected worker panics (they are expected by the hundreds
-/// here); anything else still prints.
-fn quiet_injected_panics() {
-    static HOOK: Once = Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let injected = info
-                .payload()
-                .downcast_ref::<&str>()
-                .is_some_and(|s| s.contains("chaos:"));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
-}
 
 /// Is this run's outcome an injected interpreter fault?
 fn is_injected_fault(outcome: &Outcome) -> bool {
@@ -410,6 +395,105 @@ fn zero_target_deadline_degrades_and_terminates() {
     assert!(report.targets_degraded >= 1);
     assert!(report.degradations.iter().all(|d| !d.recovered));
     assert!(!report.campaign_timed_out);
+}
+
+/// Resume under chaos: a campaign bombarded with injected faults *and*
+/// crashed mid-trace resumes to the bit-identical report — the replay
+/// re-rolls the same deterministic faults — and the resumed report
+/// still satisfies the full resilience contract.
+#[test]
+fn resumed_chaos_campaigns_keep_the_contract() {
+    quiet_injected_panics();
+    let (program, natives) = corpus::obscure();
+    let width = program.input_width();
+    for seed in [0u64, 3, 5] {
+        let mk = move || DriverConfig {
+            max_runs: 10,
+            fault_plan: Some(FaultPlan::uniform(seed, 0.25)),
+            target_deadline: Some(Duration::from_secs(10)),
+            threads: 1,
+            ..DriverConfig::with_initial(vec![0; width])
+        };
+        let trace_path = tmp(&format!("chaos-resume-{seed}.trace"));
+        let mut cfg = mk();
+        cfg.trace = Some(TraceConfig::new(&trace_path));
+        let baseline = Driver::new(&program, &natives, cfg).run(Technique::HigherOrder);
+        let full = std::fs::read(&trace_path).expect("read trace");
+        let ends = frame_ends(&trace_path);
+        for k in [ends.len() / 3, 2 * ends.len() / 3] {
+            let crash = tmp(&format!("chaos-resume-{seed}-k{k}.trace"));
+            std::fs::write(&crash, &full[..ends[k] as usize]).unwrap();
+            let mut rcfg = mk();
+            rcfg.trace = Some(TraceConfig::new(&crash));
+            let resumed = Driver::new(&program, &natives, rcfg)
+                .resume(Technique::HigherOrder)
+                .unwrap_or_else(|e| panic!("seed {seed}, crash at {k}: {e}"));
+            assert_eq!(
+                canonical(&baseline),
+                canonical(&resumed),
+                "seed {seed}: resume from crash at frame {k} diverged under chaos"
+            );
+            check_invariants(
+                &resumed,
+                Technique::HigherOrder,
+                &format!("resumed/{seed}/{k}"),
+            );
+            std::fs::remove_file(&crash).ok();
+        }
+        std::fs::remove_file(&trace_path).ok();
+    }
+}
+
+/// Trace-I/O fault sites compose with the worker fault sites: a plan
+/// injecting *both* still leaves the campaign result identical to the
+/// same worker-fault plan without trace chaos (trace faults only ever
+/// touch the trace file and its telemetry, never the search), and the
+/// trace-fault counters reconcile.
+#[test]
+fn trace_io_faults_never_leak_into_the_search() {
+    quiet_injected_panics();
+    let (program, natives) = corpus::obscure();
+    let width = program.input_width();
+    let worker_only = DriverConfig {
+        max_runs: 10,
+        fault_plan: Some(FaultPlan::uniform(3, 0.25)),
+        target_deadline: Some(Duration::from_secs(10)),
+        threads: 1,
+        ..DriverConfig::with_initial(vec![0; width])
+    };
+    let clean = Driver::new(&program, &natives, worker_only.clone()).run(Technique::HigherOrder);
+
+    let trace_path = tmp("trace-chaos-compose.trace");
+    let mut plan = FaultPlan::uniform(3, 0.25);
+    plan.trace_short_write = 0.3;
+    plan.trace_fsync_fail = 0.3;
+    let mut both = worker_only;
+    both.fault_plan = Some(plan);
+    both.trace = Some(TraceConfig::new(&trace_path));
+    let chaotic = Driver::new(&program, &natives, both).run(Technique::HigherOrder);
+
+    assert_eq!(
+        canonical(&clean),
+        canonical(&chaotic),
+        "trace-I/O chaos perturbed the campaign result"
+    );
+    assert_eq!(
+        clean.faults_injected, chaotic.faults_injected,
+        "worker-fault injection must be independent of trace chaos"
+    );
+    // If a write error fired, it was counted; a disabled writer stops
+    // rolling, so the counters are bounded by the error count plus the
+    // syncs that succeeded before the first failure.
+    assert!(
+        chaotic.trace_faults.short_writes <= 1,
+        "one short write disables the writer"
+    );
+    assert_eq!(
+        chaotic.sink_errors >= 1,
+        chaotic.trace_faults.total() >= 1,
+        "trace faults and sink errors appear together"
+    );
+    std::fs::remove_file(&trace_path).ok();
 }
 
 /// The fuel-exhaustion satellite: no default-corpus campaign burns out

@@ -15,78 +15,12 @@
 //!
 //! Regenerate with `HOTG_BLESS=1 cargo test -p hotg-core --test parity`.
 
-use hotg_core::{
-    fold_report, CampaignEvent, Driver, DriverConfig, EventLog, FaultPlan, Report, Technique,
-};
+mod common;
+
+use common::{canonical, fnv64, quiet_injected_panics};
+use hotg_core::{fold_report, CampaignEvent, Driver, DriverConfig, EventLog, FaultPlan, Technique};
 use hotg_lang::corpus;
-use std::fmt::Write as _;
-use std::sync::Once;
 use std::time::Duration;
-
-/// Silences the expected, caught chaos panics (see the chaos suite).
-fn quiet_injected_panics() {
-    static HOOK: Once = Once::new();
-    HOOK.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let injected = info
-                .payload()
-                .downcast_ref::<&str>()
-                .is_some_and(|s| s.contains("chaos:"));
-            if !injected {
-                prev(info);
-            }
-        }));
-    });
-}
-
-/// FNV-1a over the canonical report rendering: independent of the
-/// standard library's hasher internals, so digests stay comparable
-/// across toolchains.
-fn fnv64(data: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Canonical, deterministic rendering of everything the campaign
-/// observed. Field order is fixed; nondeterministic fields (elapsed,
-/// cache hit/miss split) are omitted.
-fn canonical(r: &Report) -> String {
-    let mut s = String::new();
-    let _ = writeln!(s, "technique={}", r.technique);
-    let _ = writeln!(s, "program={}", r.program);
-    for run in &r.runs {
-        let _ = writeln!(
-            s,
-            "run inputs={:?} outcome={:?} origin={:?} diverged={:?} path={:?}",
-            run.inputs, run.outcome, run.origin, run.diverged, run.path
-        );
-    }
-    let _ = writeln!(s, "errors={:?}", r.errors);
-    let _ = writeln!(s, "coverage={:?}", r.coverage);
-    let _ = writeln!(s, "divergences={}", r.divergences);
-    let _ = writeln!(s, "probes={}", r.probes);
-    let _ = writeln!(s, "solver_calls={}", r.solver_calls);
-    let _ = writeln!(s, "rejected_targets={}", r.rejected_targets);
-    let _ = writeln!(s, "targets_pruned_static={}", r.targets_pruned_static);
-    let _ = writeln!(s, "presampled_sites={}", r.presampled_sites);
-    let _ = writeln!(s, "branch_sites={}", r.branch_sites);
-    let _ = writeln!(s, "generation_widths={:?}", r.generation_widths);
-    let _ = writeln!(s, "solver_errors={}", r.solver_errors);
-    let _ = writeln!(s, "targets_degraded={}", r.targets_degraded);
-    let _ = writeln!(s, "targets_faulted={}", r.targets_faulted);
-    let _ = writeln!(s, "budget_escalations={}", r.budget_escalations);
-    let _ = writeln!(s, "fuel_exhausted_runs={}", r.fuel_exhausted_runs);
-    let _ = writeln!(s, "fault_kinds={:?}", r.fault_kinds);
-    let _ = writeln!(s, "degradations={:?}", r.degradations);
-    let _ = writeln!(s, "faults_injected={:?}", r.faults_injected);
-    let _ = writeln!(s, "campaign_timed_out={}", r.campaign_timed_out);
-    s
-}
 
 /// The fault-injection legs of the matrix: off, and two plan seeds.
 const CHAOS_SEEDS: [Option<u64>; 3] = [None, Some(0), Some(3)];
