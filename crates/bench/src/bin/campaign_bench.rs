@@ -4,7 +4,7 @@
 //! repo root by default).
 //!
 //! ```text
-//! campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] [--threads N]
+//! campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] [--threads N] [--shards N]
 //! ```
 //!
 //! * `--reduced` shrinks the corpus and run budget for CI smoke runs.
@@ -14,6 +14,8 @@
 //! * `--out PATH` overrides the output path.
 //! * `--threads N` overrides the worker-pool size of the parallel
 //!   measurement (default: 4).
+//! * `--shards N` overrides the shard count of the sharded-campaign
+//!   parity measurement (default: 2).
 //!
 //! Every campaign is consumed through its [`CampaignEvent`] stream: the
 //! benchmark folds the stream back into a report and cross-checks the
@@ -31,8 +33,8 @@ use hotg_concolic::{
     execute_compiled_profiled, execute_opts, ConcolicContext, ExecProfile, SymbolicMode,
 };
 use hotg_core::{
-    fold_report, Driver, DriverConfig, EventLog, FaultPlan, FsyncPolicy, Report, Technique,
-    TraceConfig,
+    fold_report, CampaignEvent, Driver, DriverConfig, EventLog, FaultPlan, FsyncPolicy, Report,
+    Technique, TraceConfig,
 };
 use hotg_lang::{compile, corpus, InputVector};
 use hotg_logic::{Formula, LogicArena};
@@ -82,6 +84,7 @@ struct Args {
     technique: Option<Technique>,
     out: String,
     threads: usize,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -91,6 +94,7 @@ fn parse_args() -> Args {
         technique: None,
         out: "BENCH_campaign.json".to_string(),
         threads: 4,
+        shards: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -112,6 +116,13 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"));
             }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage("--shards needs a positive number"));
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -121,7 +132,8 @@ fn parse_args() -> Args {
 fn usage(msg: &str) -> ! {
     eprintln!("campaign-bench: {msg}");
     eprintln!(
-        "usage: campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] [--threads N]"
+        "usage: campaign-bench [--reduced] [--chaos] [--technique NAME] [--out PATH] \
+         [--threads N] [--shards N]"
     );
     std::process::exit(2);
 }
@@ -909,6 +921,36 @@ fn quiet_injected_panics() {
     }));
 }
 
+/// One sharded-campaign parity row: a program × technique campaign run
+/// as `shards` partitioned schedulers, its exchange accounting, and
+/// whether its report matched the single-shard run bit-for-bit.
+struct ShardBenchRow {
+    program: &'static str,
+    technique: Technique,
+    shards: usize,
+    per_shard_targets: Vec<u64>,
+    exchange_samples: u64,
+    exchange_keys: u64,
+    parity: bool,
+    wall_ms: f64,
+}
+
+fn shard_row_json(r: &ShardBenchRow) -> String {
+    format!(
+        "{{\"program\": {}, \"technique\": {}, \"shards\": {}, \
+         \"per_shard_targets\": {:?}, \"exchange_samples\": {}, \
+         \"exchange_keys\": {}, \"parity\": {}, \"wall_ms\": {:.3}}}",
+        json_str(r.program),
+        json_str(r.technique.name()),
+        r.shards,
+        r.per_shard_targets,
+        r.exchange_samples,
+        r.exchange_keys,
+        r.parity,
+        r.wall_ms,
+    )
+}
+
 fn main() {
     let args = parse_args();
     let max_runs = if args.reduced { 40 } else { 200 };
@@ -1043,6 +1085,68 @@ fn main() {
         par_technique.name()
     );
 
+    // Sharded campaigns: every selected directed technique re-run with
+    // the campaign partitioned across N shard schedulers, diffed
+    // field-by-field against the single-shard report. The rows carry
+    // the partitioner's per-shard target counts and the state-exchange
+    // volume, so a balance or chattiness regression is visible in the
+    // artifact. (The random baseline has no branch-flip targets to
+    // partition, so it is exercised in the main matrix only.)
+    let shard_count = args.shards.max(2);
+    let mut shard_rows: Vec<ShardBenchRow> = Vec::new();
+    for (name, ctor) in &programs {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in techniques
+            .iter()
+            .copied()
+            .filter(|t| *t != Technique::Random)
+        {
+            let baseline =
+                Driver::new(&program, &natives, config(width, max_runs, 1)).run(technique);
+            let mut cfg = config(width, max_runs, 1);
+            cfg.shards = shard_count;
+            let driver = Driver::new(&program, &natives, cfg);
+            let mut log = EventLog::new();
+            let start = Instant::now();
+            let report = driver.run_with_sink(technique, &mut log);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let parity = fold_mismatches(&baseline, &report).is_empty();
+            let (per_shard_targets, exchange_samples, exchange_keys) = log
+                .events()
+                .iter()
+                .find_map(|e| match e {
+                    CampaignEvent::ShardStats {
+                        per_shard_targets,
+                        exchange_samples,
+                        exchange_keys,
+                        ..
+                    } => Some((per_shard_targets.clone(), *exchange_samples, *exchange_keys)),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            eprintln!(
+                "shards {name:<13} {:<18} {wall_ms:>7.1}ms  targets {:?}, \
+                 exchanged {exchange_samples} samples / {exchange_keys} keys{}",
+                technique.name(),
+                per_shard_targets,
+                if parity { "" } else { "  PARITY FAILED" },
+            );
+            shard_rows.push(ShardBenchRow {
+                program: name,
+                technique,
+                shards: shard_count,
+                per_shard_targets,
+                exchange_samples,
+                exchange_keys,
+                parity,
+                wall_ms,
+            });
+        }
+    }
+    let shards_pass = !shard_rows.is_empty() && shard_rows.iter().all(|r| r.parity);
+    let shards_json: Vec<String> = shard_rows.iter().map(shard_row_json).collect();
+
     // Captured DART-sound query streams, one per corpus program
     // (independent of --reduced, like the paper claims). The
     // solver-throughput replay uses its two stress programs; the backend
@@ -1172,7 +1276,7 @@ fn main() {
     let resume_json: Vec<String> = resume_rows.iter().map(resume_row_json).collect();
 
     let json = format!(
-        "{{\n  \"schema\": \"hotg-campaign-bench/7\",\n  \"reduced\": {},\n  \
+        "{{\n  \"schema\": \"hotg-campaign-bench/8\",\n  \"reduced\": {},\n  \
          \"max_runs\": {},\n  \"fold_drift\": {},\n  \
          \"rows\": [\n    {}\n  ],\n  \"claims\": [\n    {}\n  ],\n  \
          \"failed_claims\": {},\n  \"chaos\": [\n    {}\n  ],\n  \
@@ -1190,6 +1294,8 @@ fn main() {
          \"rows\": [\n    {}\n  ], \
          \"recovery\": {{\"crash_frame\": {}, \"frames\": {}, \
          \"recovery_ms\": {:.3}, \"events_replayed\": {}, \"parity\": {}}}}},\n  \
+         \"shards\": {{\"shards\": {}, \"baseline\": \"single-shard-campaign\", \
+         \"pass\": {}, \"rows\": [\n    {}\n  ]}},\n  \
          \"parallel\": {{\"technique\": {}, \
          \"threads\": {}, \"host_threads\": {}, \"max_generation_width\": {}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \
@@ -1225,6 +1331,9 @@ fn main() {
         resume_recovery.recovery_ms,
         resume_recovery.events_replayed,
         resume_recovery.parity,
+        shard_count,
+        shards_pass,
+        shards_json.join(",\n    "),
         json_str(par_technique.name()),
         threads,
         host_threads,
@@ -1274,6 +1383,13 @@ fn main() {
             "campaign-bench: crash-safe resume gate FAILED (parity {}, \
              every-generation trace overhead must be <= {RESUME_OVERHEAD_CEILING_PCT}%)",
             resume_recovery.parity
+        );
+        failed = true;
+    }
+    if !shards_pass {
+        eprintln!(
+            "campaign-bench: sharded-campaign parity FAILED (a {shard_count}-shard \
+             report drifted from its single-shard baseline)"
         );
         failed = true;
     }

@@ -153,6 +153,17 @@ pub struct DriverConfig {
     /// may differ). `1` processes targets inline on the calling thread;
     /// the default is the machine's available parallelism.
     pub threads: usize,
+    /// Shards for the directed search: the campaign's branch-flip
+    /// targets are partitioned across this many shard schedulers by
+    /// stable path-key hash, each writing its own durable trace, with
+    /// campaign state exchanged at generation boundaries. The merged
+    /// result is **bit-identical** to a single-shard run for every
+    /// shard count (see the `engine::shard` module docs for the
+    /// determinism argument), so — like `threads` — this field is
+    /// excluded from [`resume_digest`](DriverConfig::resume_digest).
+    /// `1` (the default) runs the classic single-scheduler campaign;
+    /// the random baseline has no targets to partition and ignores it.
+    pub shards: usize,
     /// Wall-clock budget for one search target (solver queries, strategy
     /// interpretation, probes, degradation attempts). The cutoff is
     /// cooperative: it is threaded into the solver stack as a
@@ -231,6 +242,7 @@ impl Default for DriverConfig {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            shards: 1,
             target_deadline: None,
             campaign_deadline: None,
             retry_escalation: 0.0,
@@ -259,7 +271,8 @@ impl DriverConfig {
     /// [`ResumeError::HeaderMismatch`](crate::ResumeError).
     ///
     /// Deliberately excluded, because they cannot change the event
-    /// stream: `threads` and `bytecode` (bit-identical by construction),
+    /// stream: `threads`, `shards`, and `bytecode` (bit-identical by
+    /// construction),
     /// the trace/observability sinks (`event_trace`, `query_log`,
     /// `trace`, `validity.smt.trace` — announcement-only or
     /// env-dependent), and the wall-clock `Deadline` carriers inside the
@@ -364,6 +377,7 @@ mod tests {
         // (bit-identical reports), only faster.
         assert!(c.bytecode);
         assert!(c.threads >= 1);
+        assert_eq!(c.shards, 1);
         // Resilience features default to deterministic behaviour: no
         // deadlines, no escalation retries, no fault injection — only the
         // (deterministic) degradation ladder is on.
@@ -387,6 +401,7 @@ mod tests {
         // Bit-identical-by-construction and observability knobs must not
         // block a resume.
         b.threads = a.threads + 7;
+        b.shards = 4;
         b.bytecode = !a.bytecode;
         b.event_trace = Some(PathBuf::from("/tmp/x.jsonl"));
         b.trace = Some(TraceConfig::new("/tmp/x.trace"));

@@ -27,7 +27,9 @@ use crate::engine::{Engine, ResumeData};
 use crate::events::{fold_report, EventSink, NullSink};
 use crate::report::Report;
 use crate::strategy;
-use crate::trace::{program_digest, recover, RecoveryReport, ResumeError};
+use crate::trace::{
+    program_digest, recover, shard_digest, shard_trace_path, Recovery, RecoveryReport, ResumeError,
+};
 use hotg_analysis::{analyze, AnalysisResult};
 use hotg_concolic::ConcolicContext;
 use hotg_lang::{CompiledProgram, NativeRegistry, Program};
@@ -52,6 +54,12 @@ pub struct Driver<'p> {
     /// disabled or the program fails the static checker — campaigns then
     /// run on the reference tree-walkers with identical results.
     compiled: Option<CompiledProgram>,
+    /// Why compilation failed when `compiled` is `None` despite
+    /// [`DriverConfig::bytecode`]: announced per campaign as
+    /// [`CampaignEvent::BytecodeFallback`](crate::CampaignEvent) and
+    /// counted in [`Report::bytecode_fallbacks`], so the tree-walker
+    /// fallback is never silent.
+    compile_error: Option<String>,
 }
 
 impl<'p> Driver<'p> {
@@ -61,10 +69,14 @@ impl<'p> Driver<'p> {
         natives: &'p NativeRegistry,
         config: DriverConfig,
     ) -> Driver<'p> {
-        let compiled = config
-            .bytecode
-            .then(|| hotg_lang::compile(program, natives).ok())
-            .flatten();
+        let (compiled, compile_error) = if config.bytecode {
+            match hotg_lang::compile(program, natives) {
+                Ok(cp) => (Some(cp), None),
+                Err(e) => (None, Some(e.to_string())),
+            }
+        } else {
+            (None, None)
+        };
         Driver {
             program,
             natives,
@@ -73,6 +85,7 @@ impl<'p> Driver<'p> {
             config,
             arena: Arc::new(LogicArena::new()),
             compiled,
+            compile_error,
         }
     }
 
@@ -112,7 +125,13 @@ impl<'p> Driver<'p> {
     /// [`CampaignEvent`]: crate::CampaignEvent
     pub fn run_with_sink(&self, technique: Technique, sink: &mut dyn EventSink) -> Report {
         let start = std::time::Instant::now();
-        let engine = Engine {
+        let mut report = self.engine().run(strategy::for_technique(technique), sink);
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    fn engine(&self) -> Engine<'_> {
+        Engine {
             program: self.program,
             natives: self.natives,
             ctx: &self.ctx,
@@ -120,11 +139,9 @@ impl<'p> Driver<'p> {
             config: &self.config,
             arena: &self.arena,
             compiled: self.compiled.as_ref(),
+            compile_error: self.compile_error.as_deref(),
             exec: Default::default(),
-        };
-        let mut report = engine.run(strategy::for_technique(technique), sink);
-        report.elapsed = start.elapsed();
-        report
+        }
     }
 
     /// Resumes an interrupted campaign from the durable trace configured
@@ -163,7 +180,15 @@ impl<'p> Driver<'p> {
             .trace
             .as_ref()
             .ok_or(ResumeError::NoTraceConfigured)?;
-        let rec = recover(&tc.path)?;
+        let sharded = self.config.shards > 1;
+        let rec = match recover(&tc.path) {
+            Ok(rec) => rec,
+            // A sharded campaign's real checkpoints are its shard
+            // traces: a canonical trace that is lost or unreadable only
+            // forfeits the complete-trace fast path below.
+            Err(_) if sharded => return self.resume_sharded(technique, sink, start),
+            Err(e) => return Err(e),
+        };
         if rec.header.technique != technique {
             return Err(ResumeError::HeaderMismatch {
                 field: "technique",
@@ -208,23 +233,23 @@ impl<'p> Driver<'p> {
                 },
             });
         }
-        let engine = Engine {
-            program: self.program,
-            natives: self.natives,
-            ctx: &self.ctx,
-            analysis: &self.analysis,
-            config: &self.config,
-            arena: &self.arena,
-            compiled: self.compiled.as_ref(),
-            exec: Default::default(),
-        };
+        if sharded {
+            // An incomplete canonical trace of a sharded campaign is
+            // discarded (it is rewritten live on the resumed run); the
+            // shard traces are the checkpoints replay works from.
+            return self.resume_sharded(technique, sink, start);
+        }
         let resume = ResumeData {
             events: rec.events,
             ends: rec.ends,
             header_end: rec.header_end,
         };
-        let (mut report, events_replayed) =
-            engine.run_resumable(strategy::for_technique(technique), sink, Some(resume));
+        let (mut report, events_replayed) = self.engine().run_resumable(
+            strategy::for_technique(technique),
+            sink,
+            Some(resume),
+            Vec::new(),
+        );
         report.elapsed = start.elapsed();
         Ok(Resumed {
             report,
@@ -235,6 +260,92 @@ impl<'p> Driver<'p> {
                 frames_discarded: rec.frames_discarded,
                 complete: false,
                 damage: rec.damage,
+            },
+        })
+    }
+
+    /// Resumes a sharded campaign from its per-shard traces. Each shard
+    /// trace is recovered and header-checked independently; a shard
+    /// whose trace is lost outright simply re-runs live (its salvaged
+    /// prefix is empty), while a header mismatch is refused — it means
+    /// the trace belongs to a different campaign shape. The canonical
+    /// trace is rewritten from scratch by the resumed run.
+    fn resume_sharded(
+        &self,
+        technique: Technique,
+        sink: &mut dyn EventSink,
+        start: std::time::Instant,
+    ) -> Result<Resumed, ResumeError> {
+        let tc = self.config.trace.as_ref().expect("checked by caller");
+        let shards = self.config.shards;
+        let cdigest = self.config.resume_digest();
+        let pdigest = program_digest(self.program);
+        let mut frames_salvaged = 0;
+        let mut bytes_discarded = 0;
+        let mut frames_discarded = 0;
+        let mut damage = None;
+        let mut shard_resume: Vec<Option<ResumeData>> = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let path = shard_trace_path(&tc.path, i, shards);
+            let rec: Recovery = match recover(&path) {
+                Ok(rec) => rec,
+                // Lost shard checkpoint: the shard re-runs live.
+                Err(ResumeError::Io(_)) => {
+                    shard_resume.push(None);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            if rec.header.technique != technique {
+                return Err(ResumeError::HeaderMismatch {
+                    field: "technique",
+                    expected: rec.header.technique.name().to_string(),
+                    found: technique.name().to_string(),
+                });
+            }
+            if rec.header.program_digest != pdigest {
+                return Err(ResumeError::HeaderMismatch {
+                    field: "program_digest",
+                    expected: format!("{:016x}", rec.header.program_digest),
+                    found: format!("{pdigest:016x}"),
+                });
+            }
+            let expected = shard_digest(cdigest, i, shards);
+            if rec.header.config_digest != expected {
+                return Err(ResumeError::HeaderMismatch {
+                    field: "config_digest",
+                    expected: format!("{:016x}", rec.header.config_digest),
+                    found: format!("{expected:016x}"),
+                });
+            }
+            frames_salvaged += rec.events.len();
+            bytes_discarded += rec.bytes_discarded;
+            frames_discarded += rec.frames_discarded;
+            if damage.is_none() {
+                damage = rec.damage;
+            }
+            shard_resume.push(Some(ResumeData {
+                events: rec.events,
+                ends: rec.ends,
+                header_end: rec.header_end,
+            }));
+        }
+        let (mut report, events_replayed) = self.engine().run_resumable(
+            strategy::for_technique(technique),
+            sink,
+            None,
+            shard_resume,
+        );
+        report.elapsed = start.elapsed();
+        Ok(Resumed {
+            report,
+            recovery: RecoveryReport {
+                frames_salvaged,
+                events_replayed,
+                bytes_discarded,
+                frames_discarded,
+                complete: false,
+                damage,
             },
         })
     }

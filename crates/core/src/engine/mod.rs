@@ -32,9 +32,12 @@
 //! is about to fill, but the cached values are pure functions of the key).
 
 pub(crate) mod ladder;
+pub(crate) mod merge;
 pub(crate) mod outcome;
 pub(crate) mod resume;
 pub(crate) mod scheduler;
+pub(crate) mod shard;
+pub(crate) mod state;
 
 use crate::chaos::{chaos_key, injected_fault, FaultCounters, FaultSite};
 use crate::config::DriverConfig;
@@ -56,7 +59,7 @@ use hotg_solver::{
 use outcome::{path_key, scale_budget, Target, TargetOutcome, WorkerRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +79,11 @@ pub(crate) struct Engine<'a> {
     /// The driver's once-compiled bytecode; `None` runs the campaign on
     /// the reference tree-walkers (identical reports, lower throughput).
     pub(crate) compiled: Option<&'a CompiledProgram>,
+    /// Why compilation failed when bytecode execution was requested but
+    /// `compiled` is `None`. Announced as
+    /// [`CampaignEvent::BytecodeFallback`] right after campaign start so
+    /// the tree-walker fallback is never silent.
+    pub(crate) compile_error: Option<&'a str>,
     /// Execution-layer telemetry for this campaign, summed across worker
     /// threads and announced once as [`CampaignEvent::ExecStats`].
     pub(crate) exec: ExecCounters,
@@ -315,33 +323,45 @@ impl Emitter<'_> {
             }
         }
     }
-}
 
-/// Mutable search state of one directed campaign, owned by the merge
-/// thread: the next generation's worklist, the dedup set, and the
-/// accumulated `IOF` sample table.
-#[derive(Default)]
-pub(crate) struct SearchState {
-    pub(crate) pending: Vec<Target>,
-    pub(crate) seen: HashSet<u64>,
-    pub(crate) samples: Samples,
+    /// Closes a finished shard emitter and folds its I/O accounting into
+    /// this (canonical) emitter: absorbed sink errors, injected
+    /// trace-fault counters, replay consumption, and a tripped fail-fast
+    /// flag all surface through the canonical campaign tail. Digest-safe
+    /// by construction — none of these counters is a campaign result.
+    pub(crate) fn absorb_shard(&mut self, mut shard: Emitter<'_>) {
+        shard.finish();
+        let (short_writes, fsync_fails) = shard.trace_fault_counts();
+        self.absorbed_short_writes += short_writes;
+        self.absorbed_fsync_fails += fsync_fails;
+        self.sink_errors += shard.sink_errors;
+        self.replayed += shard.replayed;
+        if shard.fail_fast {
+            self.fail_fast = true;
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
     /// Runs one campaign under `strategy`, streaming events into the
     /// report fold, the configured traces, and `external`.
     pub(crate) fn run(&self, strategy: &dyn Strategy, external: &mut dyn EventSink) -> Report {
-        self.run_resumable(strategy, external, None).0
+        self.run_resumable(strategy, external, None, Vec::new()).0
     }
 
     /// Runs one campaign, optionally replaying a salvaged trace prefix
-    /// (resume). Returns the report plus the number of recorded events
-    /// the replay consumed.
+    /// (resume). A sharded campaign (`DriverConfig::shards` > 1) resumes
+    /// from its per-shard traces instead: `shard_resume[i]` carries
+    /// shard `i`'s salvaged prefix (`None` for a shard whose trace was
+    /// lost entirely — that shard simply re-runs live). Returns the
+    /// report plus the number of recorded events the replays consumed
+    /// (summed across shards for a sharded campaign).
     pub(crate) fn run_resumable(
         &self,
         strategy: &dyn Strategy,
         external: &mut dyn EventSink,
         resume: Option<ResumeData>,
+        shard_resume: Vec<Option<ResumeData>>,
     ) -> (Report, usize) {
         let trace = self.config.event_trace.as_ref().and_then(|path| {
             JsonlSink::create(path)
@@ -387,12 +407,21 @@ impl<'a> Engine<'a> {
                             seed: self.config.seed,
                             fsync: tc.fsync,
                         };
+                        // When the kill-switch chaos names a shard, it
+                        // arms on that shard's writer only; the
+                        // canonical trace keeps it when no shard is
+                        // named.
+                        let kill_at = if tc.chaos_kill_shard.is_some() {
+                            None
+                        } else {
+                            tc.chaos_kill_at_event
+                        };
                         match TraceWriter::create(
                             &tc.path,
                             &header,
                             tc.fsync,
                             self.config.fault_plan.clone(),
-                            tc.chaos_kill_at_event,
+                            kill_at,
                         ) {
                             Ok(w) => Durable::Writing(w),
                             Err(e) => {
@@ -430,9 +459,20 @@ impl<'a> Engine<'a> {
             program: self.program.name.clone(),
             branch_sites: self.program.branch_count,
         });
+        if let Some(reason) = self.compile_error {
+            em.emit(CampaignEvent::BytecodeFallback {
+                reason: reason.to_string(),
+            });
+        }
         if strategy.is_directed() {
-            self.directed(strategy, &mut em);
+            if self.config.shards > 1 {
+                self.directed_sharded(strategy, &mut em, shard_resume);
+            } else {
+                self.directed(strategy, &mut em);
+            }
         } else {
+            // The random baseline has no branch-flip targets to
+            // partition; `shards` is a no-op for it.
             self.random_campaign(&mut em);
         }
         // Trace-fault and sink-error accounting, announced before the

@@ -6,9 +6,9 @@ use crate::chaos::FaultCounters;
 use crate::report::{DegradationRecord, RunRecord};
 use hotg_concolic::PathConstraint;
 use hotg_lang::BranchId;
+use hotg_logic::StableHasher;
 use hotg_logic::{Formula, Model};
 use hotg_solver::Samples;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 /// A branch-flip target produced by one executed run.
@@ -86,8 +86,13 @@ pub(crate) enum Checked {
 /// 64-bit hash instead of the path itself keeps the `seen` set compact:
 /// paths grow linearly with program depth, and every executed run
 /// contributes one per negatable branch.
+///
+/// Fixed-key FNV-1a ([`StableHasher`]): the key is exchanged between
+/// shards and drives the [`Partitioner`](super::state::Partitioner), so
+/// it must be identical across processes, platforms, and toolchains —
+/// `DefaultHasher` guarantees none of that.
 pub(crate) fn path_key(path: &[(BranchId, bool)]) -> u64 {
-    let mut h = DefaultHasher::new();
+    let mut h = StableHasher::new();
     path.hash(&mut h);
     h.finish()
 }

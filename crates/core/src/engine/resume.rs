@@ -173,81 +173,17 @@ pub(crate) fn reconstruct_outcome(
         out.runs.push(run);
     }
 
-    // Final gate: simulate exactly what merge_outcome will emit for this
-    // outcome and require it to equal the recorded block. Guarantees the
-    // replay cursor consumes the whole block (so a parse that drifted
-    // from the recorded stream can never merge, then diverge mid-block
-    // into a hybrid report).
-    if simulate_merge_emissions(job, &out) != prefix[..=close] {
+    // Final gate: derive exactly what the merge step will emit for this
+    // outcome ([`super::merge::outcome_block`], the single emission
+    // truth shared with the scheduler and the shard coordinator) and
+    // require it to equal the recorded block. Guarantees the replay
+    // cursor consumes the whole block (so a parse that drifted from the
+    // recorded stream can never merge, then diverge mid-block into a
+    // hybrid report).
+    if super::merge::outcome_block(job, &out) != prefix[..=close] {
         return None;
     }
     Some(out)
-}
-
-/// The event sequence `merge_outcome` emits for `out`, including the
-/// closing [`CampaignEvent::TargetClosed`]. Must mirror
-/// `Engine::merge_outcome`/`Engine::merge_run` exactly.
-fn simulate_merge_emissions(job: &Job, out: &TargetOutcome) -> Vec<CampaignEvent> {
-    let mut sim = Vec::new();
-    if out.solver_calls > 0 {
-        sim.push(CampaignEvent::SolverQueries {
-            count: out.solver_calls,
-        });
-    }
-    if out.rejected_targets > 0 {
-        sim.push(CampaignEvent::TargetsRejected {
-            count: out.rejected_targets,
-        });
-    }
-    if out.solver_errors > 0 {
-        sim.push(CampaignEvent::SolverErrors {
-            count: out.solver_errors,
-        });
-    }
-    if out.budget_escalations > 0 {
-        sim.push(CampaignEvent::BudgetEscalations {
-            count: out.budget_escalations,
-        });
-    }
-    for (site, count) in out.faults.per_site() {
-        if count > 0 {
-            sim.push(CampaignEvent::FaultInjected { site, count });
-        }
-    }
-    if out.faulted {
-        sim.push(CampaignEvent::TargetFaulted { target: job.id });
-    }
-    if !out.degradations.is_empty() {
-        sim.push(CampaignEvent::TargetDegraded {
-            target: job.id,
-            rungs: out.degradations.clone(),
-        });
-    }
-    for run in &out.runs {
-        if run.pruned_static > 0 {
-            sim.push(CampaignEvent::TargetsPrunedStatic {
-                count: run.pruned_static,
-            });
-        }
-        if run.injected_fault {
-            sim.push(CampaignEvent::FaultInjected {
-                site: FaultSite::InterpFault,
-                count: 1,
-            });
-        }
-        match &run.record.origin {
-            Origin::Probe { target } => sim.push(CampaignEvent::ProbeRun { target: *target }),
-            Origin::Solved { target } | Origin::Strategy { target, .. } => {
-                sim.push(CampaignEvent::TargetSolved { target: *target });
-            }
-            _ => {}
-        }
-        sim.push(CampaignEvent::RunExecuted {
-            record: Box::new(run.record.clone()),
-        });
-    }
-    sim.push(CampaignEvent::TargetClosed { target: job.id });
-    sim
 }
 
 /// Probe and strategy runs always evaluate with uninterpreted

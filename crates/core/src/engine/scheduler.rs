@@ -5,9 +5,9 @@
 //! events. See the [engine module docs](crate::engine) for the
 //! determinism argument.
 
-use super::outcome::{path_key, Job, TargetOutcome, WorkerRun};
-use super::{resume, Emitter, Engine, SearchState};
-use crate::chaos::FaultSite;
+use super::outcome::{Job, TargetOutcome};
+use super::state::CampaignState;
+use super::{merge, resume, Emitter, Engine};
 use crate::events::CampaignEvent;
 use crate::report::Origin;
 use crate::strategy::Strategy;
@@ -35,7 +35,7 @@ impl Engine<'_> {
             None
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut st = SearchState::default();
+        let mut st = CampaignState::default();
         // Both solvers intern through the driver-owned campaign arena, so
         // normalization/fingerprint work is shared between them (and with
         // escalated/deadline-reconfigured clones).
@@ -52,33 +52,7 @@ impl Engine<'_> {
         let mut session_queries = 0u64;
         let mut session_clauses_reused = 0u64;
 
-        // UF-placement oracle: native call sites whose arguments are
-        // statically constant always evaluate the same application, so
-        // their input/output pair can be put into the `IOF` table before
-        // the first run — a validity proof may then use the pair without
-        // a probe execution (Figure 3's sampled table, filled eagerly).
-        if self.config.static_pruning {
-            for site in self.analysis.native_sites() {
-                let hotg_analysis::SiteClass::ConstArgs(args) = &site.class else {
-                    continue;
-                };
-                let Some(fsym) = self.ctx.native_sym(&site.name) else {
-                    continue;
-                };
-                if let Ok(out) = self.natives.call(&site.name, args) {
-                    st.samples.record(fsym, args.clone(), out);
-                    em.emit(CampaignEvent::SitePresampled);
-                }
-            }
-        }
-
-        let initial = self.initial_inputs(&mut rng);
-        let run = self.execute_run(initial, Origin::Initial, None, profile);
-        self.merge_run(run, em, &mut st);
-        for seed_inputs in &self.config.seed_corpus {
-            let run = self.execute_run(seed_inputs.clone(), Origin::Seed, None, profile);
-            self.merge_run(run, em, &mut st);
-        }
+        self.seed_phase(strategy, &mut rng, &mut st, |e| em.emit(e));
 
         let threads = self.config.threads.max(1);
         'search: while !st.pending.is_empty() && em.report.runs.len() < self.config.max_runs {
@@ -89,7 +63,7 @@ impl Engine<'_> {
                 em.emit(CampaignEvent::CampaignTimedOut);
                 break;
             }
-            let jobs = filter_generation(&mut st);
+            let (jobs, _fresh_keys) = st.filter_generation();
             if jobs.is_empty() {
                 break;
             }
@@ -97,8 +71,11 @@ impl Engine<'_> {
                 index: em.report.generation_widths.len(),
                 width: jobs.len(),
             });
-            for job in &jobs {
-                em.emit(CampaignEvent::TargetScheduled { target: job.id });
+            for (ordinal, job) in jobs.iter().enumerate() {
+                em.emit(CampaignEvent::TargetScheduled {
+                    target: job.id,
+                    ordinal,
+                });
             }
             // Snapshot of the sample table all of this generation's
             // targets are checked against (per-target probe runs extend a
@@ -234,118 +211,83 @@ impl Engine<'_> {
         }
     }
 
-    /// Translates one executed run into events and folds its samples
-    /// and children into the search state (merge thread only).
-    pub(crate) fn merge_run(&self, run: WorkerRun, em: &mut Emitter<'_>, st: &mut SearchState) {
-        st.samples.merge(&run.samples);
-        if run.pruned_static > 0 {
-            em.emit(CampaignEvent::TargetsPrunedStatic {
-                count: run.pruned_static,
-            });
-        }
-        if run.injected_fault {
-            em.emit(CampaignEvent::FaultInjected {
-                site: FaultSite::InterpFault,
-                count: 1,
-            });
-        }
-        match &run.record.origin {
-            Origin::Probe { target } => em.emit(CampaignEvent::ProbeRun { target: *target }),
-            Origin::Solved { target } | Origin::Strategy { target, .. } => {
-                em.emit(CampaignEvent::TargetSolved { target: *target });
+    /// The campaign preamble every directed campaign shares, emitted
+    /// through `emit` so the single-shard path (canonical emitter) and
+    /// the shard coordinator (canonical emitter *plus* every shard
+    /// trace — the preamble is part of each shard's checkpoint) replay
+    /// the identical sequence:
+    ///
+    /// * UF-placement oracle: native call sites whose arguments are
+    ///   statically constant always evaluate the same application, so
+    ///   their input/output pair is put into the `IOF` table before the
+    ///   first run — a validity proof may then use the pair without a
+    ///   probe execution (Figure 3's sampled table, filled eagerly);
+    /// * the initial run and the seed-corpus runs, which populate the
+    ///   first generation's frontier.
+    pub(crate) fn seed_phase(
+        &self,
+        strategy: &dyn Strategy,
+        rng: &mut StdRng,
+        st: &mut CampaignState,
+        mut emit: impl FnMut(CampaignEvent),
+    ) {
+        let profile = strategy.profile();
+        if self.config.static_pruning {
+            for site in self.analysis.native_sites() {
+                let hotg_analysis::SiteClass::ConstArgs(args) = &site.class else {
+                    continue;
+                };
+                let Some(fsym) = self.ctx.native_sym(&site.name) else {
+                    continue;
+                };
+                if let Ok(out) = self.natives.call(&site.name, args) {
+                    st.samples.record(fsym, args.clone(), out);
+                    emit(CampaignEvent::SitePresampled);
+                }
             }
-            _ => {}
         }
-        em.emit(CampaignEvent::RunExecuted {
-            record: Box::new(run.record),
-        });
+        let initial = self.initial_inputs(rng);
+        let run = self.execute_run(initial, Origin::Initial, None, profile);
+        for event in merge::run_unit(&run) {
+            emit(event);
+        }
+        st.samples.merge(&run.samples);
         st.pending.extend(run.children);
+        for seed_inputs in &self.config.seed_corpus {
+            let run = self.execute_run(seed_inputs.clone(), Origin::Seed, None, profile);
+            for event in merge::run_unit(&run) {
+                emit(event);
+            }
+            st.samples.merge(&run.samples);
+            st.pending.extend(run.children);
+        }
     }
 
-    /// Translates one target's outcome into events, in target order
-    /// (merge thread only).
-    fn merge_outcome(
+    /// Translates one target's outcome into its event block
+    /// ([`merge::outcome_block`], shared with the resume gate and the
+    /// shard coordinator) and folds the outcome's state effects, in
+    /// target order (merge thread only). The block's final event,
+    /// [`CampaignEvent::TargetClosed`], is the delimiter the resume
+    /// replay splits a salvaged prefix on.
+    pub(crate) fn merge_outcome(
         &self,
         job: &Job,
         out: TargetOutcome,
         em: &mut Emitter<'_>,
-        st: &mut SearchState,
+        st: &mut CampaignState,
     ) {
-        if out.solver_calls > 0 {
-            em.emit(CampaignEvent::SolverQueries {
-                count: out.solver_calls,
-            });
+        for event in merge::outcome_block(job, &out) {
+            em.emit(event);
         }
-        if out.rejected_targets > 0 {
-            em.emit(CampaignEvent::TargetsRejected {
-                count: out.rejected_targets,
-            });
-        }
-        if out.solver_errors > 0 {
-            em.emit(CampaignEvent::SolverErrors {
-                count: out.solver_errors,
-            });
-        }
-        if out.budget_escalations > 0 {
-            em.emit(CampaignEvent::BudgetEscalations {
-                count: out.budget_escalations,
-            });
-        }
-        for (site, count) in out.faults.per_site() {
-            if count > 0 {
-                em.emit(CampaignEvent::FaultInjected { site, count });
-            }
-        }
-        if out.faulted {
-            em.emit(CampaignEvent::TargetFaulted { target: job.id });
-        }
-        if !out.degradations.is_empty() {
-            em.emit(CampaignEvent::TargetDegraded {
-                target: job.id,
-                rungs: out.degradations,
-            });
-        }
-        for run in out.runs {
-            self.merge_run(run, em, st);
-        }
-        // Block delimiter for the resume replay: announcement-only, not
-        // folded, but recorded in the durable trace so a salvaged prefix
-        // can be split back into whole per-target outcome blocks.
-        em.emit(CampaignEvent::TargetClosed { target: job.id });
+        st.fold_outcome(out);
     }
-}
-
-/// Filters the pending generation through the dedup set sequentially,
-/// in target order — the set is only consulted here, on the merge
-/// thread, so worker scheduling cannot affect which targets survive.
-fn filter_generation(st: &mut SearchState) -> Vec<Job> {
-    let mut jobs: Vec<Job> = Vec::new();
-    for target in std::mem::take(&mut st.pending) {
-        let Some(expected) = target.pc.expected_path(target.j) else {
-            continue;
-        };
-        if !st.seen.insert(path_key(&expected)) {
-            continue;
-        }
-        let Some(alt) = target.pc.alt(target.j) else {
-            continue;
-        };
-        let (id, _) = target.pc.entries[target.j].branch.expect("branch entry");
-        jobs.push(Job {
-            target,
-            expected,
-            alt,
-            id,
-        });
-    }
-    jobs
 }
 
 /// Processes every job on a scoped worker pool and returns the outcomes
 /// in job order. Workers pull jobs off an atomic cursor; each outcome
 /// goes into its job's slot, so the result order is independent of
 /// worker scheduling.
-fn run_pool<F>(threads: usize, jobs: &[Job], process: F) -> Vec<TargetOutcome>
+pub(crate) fn run_pool<F>(threads: usize, jobs: &[Job], process: F) -> Vec<TargetOutcome>
 where
     F: Fn(&Job) -> TargetOutcome + Sync,
 {

@@ -57,6 +57,23 @@ pub enum CampaignEvent {
     TargetScheduled {
         /// Branch site being flipped.
         target: BranchId,
+        /// The target's position in the generation's canonical job
+        /// order. A sharded campaign stamps this canonical ordinal into
+        /// every shard's trace so the deterministic multi-stream merger
+        /// ([`merge_shard_streams`](crate::merge_shard_streams)) can
+        /// interleave the shard streams back into the exact single-shard
+        /// event order.
+        ordinal: usize,
+    },
+    /// Bytecode compilation of the program under test failed and the
+    /// campaign fell back to the reference tree-walkers (identical
+    /// behavior, lower throughput). Emitted right after
+    /// [`CampaignEvent::CampaignStarted`]; folded into
+    /// [`Report::bytecode_fallbacks`](crate::Report::bytecode_fallbacks)
+    /// so the fallback is never silent.
+    BytecodeFallback {
+        /// The compiler's error message.
+        reason: String,
     },
     /// Solver/validity queries were issued while processing a target.
     SolverQueries {
@@ -181,6 +198,21 @@ pub enum CampaignEvent {
         /// Runs executed by the reference tree-walkers.
         tree_runs: u64,
     },
+    /// Sharding telemetry of a sharded campaign, emitted once near the
+    /// end alongside the solver totals. Announcement-only: not folded
+    /// into the report — how work was partitioned and how much state was
+    /// exchanged is observability, never a campaign result (the report
+    /// is bit-identical for every shard count).
+    ShardStats {
+        /// Number of shards the campaign ran as.
+        shards: usize,
+        /// Targets processed by each shard, in shard order.
+        per_shard_targets: Vec<u64>,
+        /// Sample pairs carried by all broadcast state deltas.
+        exchange_samples: u64,
+        /// Dedup keys carried by all broadcast state deltas.
+        exchange_keys: u64,
+    },
     /// The campaign stopped early because
     /// [`DriverConfig::campaign_deadline`](crate::DriverConfig::campaign_deadline)
     /// expired.
@@ -214,6 +246,8 @@ impl CampaignEvent {
             CampaignEvent::SitePresampled => "site_presampled",
             CampaignEvent::GenerationStarted { .. } => "generation_started",
             CampaignEvent::TargetScheduled { .. } => "target_scheduled",
+            CampaignEvent::BytecodeFallback { .. } => "bytecode_fallback",
+            CampaignEvent::ShardStats { .. } => "shard_stats",
             CampaignEvent::SolverQueries { .. } => "solver_queries",
             CampaignEvent::TargetSolved { .. } => "target_solved",
             CampaignEvent::TargetsRejected { .. } => "targets_rejected",
@@ -254,8 +288,24 @@ impl CampaignEvent {
             CampaignEvent::GenerationStarted { index, width } => {
                 s.push_str(&format!(",\"index\":{index},\"width\":{width}"));
             }
-            CampaignEvent::TargetScheduled { target }
-            | CampaignEvent::TargetSolved { target }
+            CampaignEvent::TargetScheduled { target, ordinal } => {
+                s.push_str(&format!(",\"target\":{},\"ordinal\":{ordinal}", target.0));
+            }
+            CampaignEvent::BytecodeFallback { reason } => {
+                s.push_str(&format!(",\"reason\":{}", json_str(reason)));
+            }
+            CampaignEvent::ShardStats {
+                shards,
+                per_shard_targets,
+                exchange_samples,
+                exchange_keys,
+            } => {
+                s.push_str(&format!(
+                    ",\"shards\":{shards},\"per_shard_targets\":{per_shard_targets:?},\
+                     \"exchange_samples\":{exchange_samples},\"exchange_keys\":{exchange_keys}"
+                ));
+            }
+            CampaignEvent::TargetSolved { target }
             | CampaignEvent::TargetFaulted { target }
             | CampaignEvent::TargetClosed { target }
             | CampaignEvent::ProbeRun { target } => {

@@ -48,6 +48,7 @@ mod trace;
 pub use chaos::{FaultCounters, FaultPlan, FaultSite, TraceFaultCounters};
 pub use config::{DriverConfig, Technique};
 pub use driver::{Driver, Resumed};
+pub use engine::merge::{merge_shard_streams, merge_shard_traces, MergeError};
 pub use events::{fold_report, CampaignEvent, EventLog, EventSink, JsonlSink, NullSink};
 pub use report::{
     comparison_table, DegradationLevel, DegradationReason, DegradationRecord, Origin, Report,
@@ -55,7 +56,8 @@ pub use report::{
 };
 pub use summaries::{FuncSummary, SummaryConfig, SummaryPath, SummaryTable};
 pub use trace::{
-    FsyncPolicy, RecoveryReport, ResumeError, TraceConfig, TraceErrorPolicy, TraceHeader,
+    shard_trace_path, FsyncPolicy, RecoveryReport, ResumeError, TraceConfig, TraceErrorPolicy,
+    TraceHeader,
 };
 
 #[cfg(test)]

@@ -9,6 +9,13 @@
 //! strategy names the next-weaker strategy via [`Strategy::demoted`],
 //! and the ladder walks that chain instead of re-dispatching on the
 //! technique inline.
+//!
+//! Strategies are shard-oblivious: a target is processed as a pure
+//! function of the [`Job`] and the generation's [`Samples`] snapshot,
+//! so the engine is free to hand the same target to a worker thread or
+//! to a shard scheduler's replica (whose snapshot is reconstructed
+//! from broadcast state deltas) and obtain the identical
+//! [`TargetOutcome`].
 
 mod dart;
 mod higher_order;
@@ -33,7 +40,10 @@ pub(crate) use random::Random;
 pub(crate) struct TargetCx<'e, 'a> {
     /// The shared campaign engine (chaos, ladder, execution helpers).
     pub(crate) engine: &'e Engine<'a>,
-    /// Sample-table snapshot taken at generation start.
+    /// Sample-table snapshot taken at generation start. In sharded
+    /// campaigns this is the shard replica's copy, kept bit-identical
+    /// to the coordinator's table by the generation-boundary state
+    /// exchange — strategies cannot tell (and must not care) which.
     pub(crate) snapshot: &'e Samples,
     /// Function summaries (§8), present only for the compositional
     /// strategy on programs with defined functions.

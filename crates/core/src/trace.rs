@@ -52,8 +52,11 @@ use std::path::{Path, PathBuf};
 /// File magic identifying version 1 of the framed trace format.
 pub const TRACE_MAGIC: &[u8; 8] = b"HOTGTRC1";
 
-/// Header version string carried inside the header frame.
-const TRACE_VERSION: &str = "hotg-trace/1";
+/// Header version string carried inside the header frame. Version 2
+/// added the canonical `ordinal` to `target_scheduled` frames (the
+/// shard-merge key) plus the `bytecode_fallback` and `shard_stats`
+/// events; version-1 traces decode no campaign to resume.
+const TRACE_VERSION: &str = "hotg-trace/2";
 
 /// Sanity cap on a frame's claimed payload length: no event of a real
 /// campaign comes anywhere near it, so a larger length field means the
@@ -195,6 +198,14 @@ pub struct TraceConfig {
     /// both the torn trace and the uninterrupted report to compare
     /// resume against.
     pub chaos_kill_at_event: Option<u64>,
+    /// Which shard's trace writer [`TraceConfig::chaos_kill_at_event`]
+    /// applies to in a sharded campaign (`DriverConfig::shards` > 1):
+    /// `Some(i)` kills shard `i`'s writer, leaving the coordinator's
+    /// canonical trace and every other shard trace intact — the
+    /// single-crashed-shard scenario resume tests exercise. `None`
+    /// (default) applies the kill to the canonical trace, as in a
+    /// single-shard campaign.
+    pub chaos_kill_shard: Option<usize>,
 }
 
 impl TraceConfig {
@@ -205,8 +216,29 @@ impl TraceConfig {
             fsync: FsyncPolicy::EveryGeneration,
             on_error: TraceErrorPolicy::DropAndCount,
             chaos_kill_at_event: None,
+            chaos_kill_shard: None,
         }
     }
+}
+
+/// The trace path of shard `index` of a sharded campaign whose
+/// canonical trace lives at `base`: `<base>.shard<index>-of-<shards>`.
+/// Each shard's durable trace is its checkpoint and interchange format;
+/// together the N shard traces reconstruct the canonical stream
+/// ([`merge_shard_traces`](crate::merge_shard_traces)).
+pub fn shard_trace_path(base: &Path, index: usize, shards: usize) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".shard{index}-of-{shards}"));
+    PathBuf::from(name)
+}
+
+/// The config digest recorded in shard `index`'s trace header: the
+/// campaign's [`resume_digest`](crate::DriverConfig::resume_digest)
+/// mixed with the shard coordinates, so a shard trace can never be
+/// resumed as a different shard (or as the canonical trace) of the
+/// same campaign.
+pub(crate) fn shard_digest(config_digest: u64, index: usize, shards: usize) -> u64 {
+    fnv64(format!("{config_digest:016x}/shard{index}-of-{shards}").as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -1068,6 +1100,23 @@ pub(crate) fn decode_event(payload: &str, expect_seq: u64) -> Option<CampaignEve
         },
         "target_scheduled" => CampaignEvent::TargetScheduled {
             target: v.target_field("target")?,
+            ordinal: v.usize_field("ordinal")?,
+        },
+        "bytecode_fallback" => CampaignEvent::BytecodeFallback {
+            reason: v.str_field("reason")?.to_string(),
+        },
+        "shard_stats" => CampaignEvent::ShardStats {
+            shards: v.usize_field("shards")?,
+            per_shard_targets: v
+                .arr_field("per_shard_targets")?
+                .iter()
+                .map(|t| match t {
+                    Json::Num(n) => u64::try_from(*n).ok(),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()?,
+            exchange_samples: v.u64_field("exchange_samples")?,
+            exchange_keys: v.u64_field("exchange_keys")?,
         },
         "solver_queries" => CampaignEvent::SolverQueries {
             count: v.usize_field("count")?,
@@ -1221,6 +1270,16 @@ mod tests {
             CampaignEvent::GenerationStarted { index: 0, width: 3 },
             CampaignEvent::TargetScheduled {
                 target: BranchId(2),
+                ordinal: 1,
+            },
+            CampaignEvent::BytecodeFallback {
+                reason: "program failed checking: duplicate \"native\"".to_string(),
+            },
+            CampaignEvent::ShardStats {
+                shards: 4,
+                per_shard_targets: vec![3, 0, 7, 1],
+                exchange_samples: 12,
+                exchange_keys: 11,
             },
             CampaignEvent::SolverQueries { count: 4 },
             CampaignEvent::TargetSolved {
@@ -1328,7 +1387,7 @@ mod tests {
             fsync: FsyncPolicy::Close,
         };
         assert_eq!(TraceHeader::from_json(&h.to_json()), Some(h.clone()));
-        let other = h.to_json().replace("hotg-trace/1", "hotg-trace/2");
+        let other = h.to_json().replace("hotg-trace/2", "hotg-trace/1");
         assert_eq!(TraceHeader::from_json(&other), None);
     }
 

@@ -13,6 +13,10 @@
 //! hit/miss counters (the only fields documented to vary with worker
 //! scheduling).
 //!
+//! Sharded campaigns are held to the same goldens: the
+//! shard-count-invariance test replays the matrix at shards ∈ {2, 4}
+//! and asserts each digest equals the blessed single-shard line.
+//!
 //! Regenerate with `HOTG_BLESS=1 cargo test -p hotg-core --test parity`.
 
 mod common;
@@ -197,6 +201,50 @@ fn digests_are_thread_count_invariant() {
             cells[0].1, cells[1].1,
             "{key}: digests differ across thread counts"
         );
+    }
+}
+
+/// Shard-count invariance, asserted against the *blessed* goldens: for
+/// every program × technique × chaos leg, a campaign partitioned across
+/// 2 or 4 shard schedulers reproduces the single-shard `threads1`
+/// digest bit-for-bit. This is the acceptance gate of the sharded
+/// campaign runtime — the partitioner, the state-exchange protocol, and
+/// the multi-stream merge may only change *where* a target is
+/// processed, never a single byte of the canonical report.
+#[test]
+fn digests_are_shard_count_invariant() {
+    if std::env::var_os("HOTG_BLESS").is_some() {
+        // Blessing regenerates the single-shard goldens this test
+        // compares against; skip the comparison during that run.
+        return;
+    }
+    quiet_injected_panics();
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file");
+    let golden: std::collections::BTreeMap<&str, &str> =
+        golden.lines().filter_map(|l| l.split_once(' ')).collect();
+    for (name, ctor) in corpus::all() {
+        let (program, natives) = ctor();
+        let width = program.input_width();
+        for technique in Technique::ALL {
+            for chaos in CHAOS_SEEDS {
+                let chaos_label = chaos.map_or("off".to_string(), |seed| format!("seed{seed}"));
+                let cell = format!("{name}/{technique}/threads1/chaos-{chaos_label}");
+                let want = golden
+                    .get(cell.as_str())
+                    .unwrap_or_else(|| panic!("{cell}: missing from golden file"));
+                for shards in [2usize, 4] {
+                    let mut config = combo_config(width, 1, chaos);
+                    config.shards = shards;
+                    let report = Driver::new(&program, &natives, config).run(technique);
+                    let digest = format!("{:016x}", fnv64(&canonical(&report)));
+                    assert_eq!(
+                        *want, digest,
+                        "{cell}: {shards}-shard campaign drifted from the \
+                         single-shard golden digest"
+                    );
+                }
+            }
+        }
     }
 }
 

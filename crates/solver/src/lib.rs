@@ -47,6 +47,6 @@ pub use cache::{CacheStats, Keyed, QueryCache};
 pub use deadline::Deadline;
 pub use smt::{SmtConfig, SmtResult, SmtSession, SmtSolver, Verdict};
 pub use validity::{
-    CounterInterp, Interpretation, Samples, Strategy, StrategyBinding, ValidityChecker,
-    ValidityConfig, ValidityOutcome,
+    CounterInterp, Interpretation, Samples, SamplesDelta, Strategy, StrategyBinding,
+    ValidityChecker, ValidityConfig, ValidityOutcome,
 };
